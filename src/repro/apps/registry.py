@@ -1,0 +1,26 @@
+"""App registry: look proxies up by name (CLI-ish convenience)."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.apps.base import AppModel, ScalingMode
+from repro.apps.jacobi import JacobiProxy
+from repro.apps.specfem3d import SpecFEM3DProxy
+from repro.apps.uh3d import UH3DProxy
+
+APP_BUILDERS: Dict[str, Callable[..., AppModel]] = {
+    "jacobi": JacobiProxy,
+    "specfem3d": SpecFEM3DProxy,
+    "uh3d": UH3DProxy,
+}
+
+
+def get_app(name: str, *, scaling: ScalingMode = ScalingMode.STRONG) -> AppModel:
+    """Build a proxy application by name with default parameters."""
+    try:
+        builder = APP_BUILDERS[name]
+    except KeyError:
+        known = ", ".join(sorted(APP_BUILDERS))
+        raise KeyError(f"unknown app {name!r}; known: {known}") from None
+    return builder(scaling=scaling)

@@ -1,0 +1,32 @@
+"""Multi-level set-associative cache simulation.
+
+This is the substrate behind the paper's on-the-fly application-signature
+collection (Fig. 2): every memory address an instrumented program emits is
+pushed through a simulator configured like the *target* system's memory
+hierarchy, producing per-basic-block cache hit rates for that target —
+without ever running on the target.
+
+Two implementations are provided:
+
+- :class:`repro.cache.simulator.HierarchySimulator` — the production
+  engine.  Exact LRU semantics, vectorized over cache sets per the
+  hpc-parallel guides (the Python-level loop is over *rounds* of
+  set-disjoint accesses, not over addresses).
+- :mod:`repro.cache.reference` — a straightforward scalar simulator used
+  to cross-validate the vectorized engine in tests.
+"""
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.simulator import HierarchySimulator, LevelStats, SimulationResult
+from repro.cache.reference import ReferenceCacheLevel, simulate_reference
+
+__all__ = [
+    "CacheGeometry",
+    "CacheHierarchy",
+    "HierarchySimulator",
+    "LevelStats",
+    "SimulationResult",
+    "ReferenceCacheLevel",
+    "simulate_reference",
+]

@@ -1,0 +1,101 @@
+"""Predefined cache hierarchies used throughout the reproduction.
+
+These correspond to the systems the paper mentions:
+
+- ``opteron_2level`` — the two-cache-level Opteron whose MultiMAPS
+  surface is Fig. 1.
+- ``cray_xt5`` — the base/collection system (Kraken), a 3-level Opteron
+  ("Istanbul"-like) hierarchy.
+- ``blue_waters_p1`` — the Phase-I Blue Waters-like target system of
+  Table I (POWER7-like geometry).
+- ``system_a`` / ``system_b`` — Table III's what-if pair: identical L2/L3
+  but 12KB vs 56KB L1.
+
+Exact vendor geometries are irrelevant to the methodology (any concrete
+hierarchy exercises the same code); what matters is that system_a/b
+differ *only* in L1 size, and that blue_waters_p1 is the common target
+for Table I and II.
+"""
+
+from __future__ import annotations
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.util.units import KB, MB
+
+
+def opteron_2level() -> CacheHierarchy:
+    """Two-level Opteron-like hierarchy (Fig. 1's MultiMAPS subject)."""
+    return CacheHierarchy(
+        [
+            CacheGeometry(64 * KB, line_size=64, associativity=2, name="L1"),
+            CacheGeometry(1 * MB, line_size=64, associativity=16, name="L2"),
+        ],
+        name="Opteron-2L",
+    )
+
+
+def cray_xt5() -> CacheHierarchy:
+    """Kraken-like Cray XT5 node hierarchy (base/collection system)."""
+    return CacheHierarchy(
+        [
+            CacheGeometry(64 * KB, line_size=64, associativity=2, name="L1"),
+            CacheGeometry(512 * KB, line_size=64, associativity=16, name="L2"),
+            CacheGeometry(2 * MB, line_size=64, associativity=16, name="L3"),
+        ],
+        name="CrayXT5",
+    )
+
+
+def blue_waters_p1() -> CacheHierarchy:
+    """Phase-I Blue Waters-like target hierarchy (Tables I and II)."""
+    return CacheHierarchy(
+        [
+            CacheGeometry(32 * KB, line_size=64, associativity=8, name="L1"),
+            CacheGeometry(256 * KB, line_size=64, associativity=8, name="L2"),
+            CacheGeometry(4 * MB, line_size=64, associativity=16, name="L3"),
+        ],
+        name="BlueWatersP1",
+    )
+
+
+def system_a() -> CacheHierarchy:
+    """Table III "System A": 12KB L1, shared L2/L3 with system B."""
+    return CacheHierarchy(
+        [
+            CacheGeometry(12 * KB, line_size=64, associativity=3, name="L1"),
+            CacheGeometry(256 * KB, line_size=64, associativity=8, name="L2"),
+            CacheGeometry(4 * MB, line_size=64, associativity=16, name="L3"),
+        ],
+        name="SystemA-12KB-L1",
+    )
+
+
+def system_b() -> CacheHierarchy:
+    """Table III "System B": 56KB L1, otherwise identical to system A."""
+    return CacheHierarchy(
+        [
+            CacheGeometry(56 * KB, line_size=64, associativity=7, name="L1"),
+            CacheGeometry(256 * KB, line_size=64, associativity=8, name="L2"),
+            CacheGeometry(4 * MB, line_size=64, associativity=16, name="L3"),
+        ],
+        name="SystemB-56KB-L1",
+    )
+
+
+NAMED_HIERARCHIES = {
+    "opteron_2level": opteron_2level,
+    "cray_xt5": cray_xt5,
+    "blue_waters_p1": blue_waters_p1,
+    "system_a": system_a,
+    "system_b": system_b,
+}
+
+
+def get_hierarchy(name: str) -> CacheHierarchy:
+    """Look up a predefined hierarchy by name."""
+    try:
+        return NAMED_HIERARCHIES[name]()
+    except KeyError:
+        known = ", ".join(sorted(NAMED_HIERARCHIES))
+        raise KeyError(f"unknown hierarchy {name!r}; known: {known}") from None

@@ -1,0 +1,70 @@
+"""Cache-level geometry: size, line size, associativity.
+
+Geometry is pure configuration; simulation state lives in
+:mod:`repro.cache.simulator`.  Sizes need not be powers of two (the
+paper's Table III uses 12KB and 56KB L1 caches), but the derived set
+count must come out integral.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.units import bytes_to_human
+from repro.util.validation import ValidationError, check_positive, check_power_of_two
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """Geometry of one cache level.
+
+    Parameters
+    ----------
+    size_bytes:
+        Total capacity.
+    line_size:
+        Line (block) size in bytes; must be a power of two.
+    associativity:
+        Ways per set; ``associativity == n_lines`` makes the level fully
+        associative.
+    name:
+        Display label ("L1", "L2", ...).
+    """
+
+    size_bytes: int
+    line_size: int = 64
+    associativity: int = 8
+    name: str = "L?"
+
+    def __post_init__(self):
+        check_positive("size_bytes", self.size_bytes)
+        check_power_of_two("line_size", self.line_size)
+        check_positive("associativity", self.associativity)
+        if self.size_bytes % self.line_size:
+            raise ValidationError(
+                f"{self.name}: size {self.size_bytes} not a multiple of "
+                f"line size {self.line_size}"
+            )
+        if self.n_lines % self.associativity:
+            raise ValidationError(
+                f"{self.name}: {self.n_lines} lines not divisible by "
+                f"associativity {self.associativity}"
+            )
+
+    @property
+    def n_lines(self) -> int:
+        """Total number of lines."""
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        """Number of sets."""
+        return self.n_lines // self.associativity
+
+    def describe(self) -> str:
+        """One-line human description."""
+        return (
+            f"{self.name}: {bytes_to_human(self.size_bytes)}, "
+            f"{self.line_size}B lines, {self.associativity}-way, "
+            f"{self.n_sets} sets"
+        )

@@ -1,0 +1,69 @@
+"""Cache hierarchy configuration: an ordered stack of cache levels.
+
+A hierarchy is the memory-system half of a *target system* description.
+The signature collector simulates the hierarchy of the target system
+while running on the base system — the paper's cross-architectural
+prediction mechanism.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.cache.geometry import CacheGeometry
+from repro.util.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class CacheHierarchy:
+    """An ordered, inclusive-miss-stream cache hierarchy.
+
+    Levels are ordered from closest to the core (L1) outward.  Accesses
+    that miss level *i* are forwarded (in order) to level *i+1*; misses
+    in the last level go to main memory.
+
+    Parameters
+    ----------
+    levels:
+        Per-level geometries, L1 first.
+    name:
+        Hierarchy label, usually the system name.
+    """
+
+    levels: Tuple[CacheGeometry, ...]
+    name: str = "hierarchy"
+
+    def __init__(self, levels: Sequence[CacheGeometry], name: str = "hierarchy"):
+        levels = tuple(levels)
+        if not levels:
+            raise ValidationError("hierarchy must have at least one level")
+        for inner, outer in zip(levels, levels[1:]):
+            if outer.size_bytes < inner.size_bytes:
+                raise ValidationError(
+                    f"{name}: level {outer.name} ({outer.size_bytes}B) smaller "
+                    f"than inner level {inner.name} ({inner.size_bytes}B)"
+                )
+        object.__setattr__(self, "levels", levels)
+        object.__setattr__(self, "name", name)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.levels)
+
+    @property
+    def level_names(self) -> List[str]:
+        return [g.name for g in self.levels]
+
+    def with_level(self, index: int, geometry: CacheGeometry) -> "CacheHierarchy":
+        """Return a copy with one level replaced (what-if studies, Table III)."""
+        if not 0 <= index < len(self.levels):
+            raise IndexError(f"level index {index} out of range")
+        levels = list(self.levels)
+        levels[index] = geometry
+        return CacheHierarchy(levels, name=f"{self.name}*")
+
+    def describe(self) -> str:
+        lines = [f"{self.name}:"]
+        lines.extend("  " + g.describe() for g in self.levels)
+        return "\n".join(lines)

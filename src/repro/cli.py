@@ -1,0 +1,187 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the pipeline's workflows for shell-driven use:
+
+=================  ====================================================
+``list``           known apps and machines
+``collect``        trace an app at one core count -> signature directory
+``extrapolate``    small-count traces -> synthesized large-count trace
+``predict``        trace + machine -> predicted runtime
+``measure``        ground-truth runtime of an app on a machine
+``table1``         the full Table I protocol for one app
+=================  ====================================================
+
+Examples::
+
+    python -m repro collect --app uh3d --ranks 1024 --out sig1024
+    python -m repro extrapolate --trace sig1024/rank*.npz --target 8192 \
+        --out uh3d-8192.npz
+    python -m repro predict --app uh3d --ranks 8192 \
+        --trace uh3d-8192.npz
+    python -m repro table1 --app uh3d --train 1024,2048,4096 --target 8192
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.apps.registry import APP_BUILDERS, get_app
+from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
+from repro.core.extrapolate import extrapolate_trace
+from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
+from repro.pipeline.collect import collect_signature
+from repro.pipeline.experiment import run_table1
+from repro.pipeline.predict import measure_runtime, predict_runtime
+from repro.pipeline.report import table1_report
+from repro.trace.tracefile import TraceFile
+
+
+def _parse_counts(text: str) -> List[int]:
+    try:
+        counts = [int(c) for c in text.split(",") if c.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"bad core-count list: {text!r}")
+    if not counts:
+        raise argparse.ArgumentTypeError("empty core-count list")
+    return counts
+
+
+def _load_trace(path: str) -> TraceFile:
+    p = Path(path)
+    if p.suffix == ".jsonl":
+        return TraceFile.load_jsonl(p)
+    return TraceFile.load_npz(p)
+
+
+def cmd_list(args: argparse.Namespace) -> int:
+    print("applications:")
+    for name in sorted(APP_BUILDERS):
+        print(f"  {name}")
+    print("machines:")
+    for name in sorted(MACHINE_BUILDERS):
+        print(f"  {name}")
+    return 0
+
+
+def cmd_collect(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    machine = get_machine(args.machine)
+    signature = collect_signature(app, args.ranks, machine.hierarchy)
+    signature.save_dir(args.out)
+    trace = signature.slowest_trace()
+    print(
+        f"collected {args.app} @ {args.ranks} ranks against {args.machine}: "
+        f"slowest rank {trace.rank}, {trace.n_blocks} blocks -> {args.out}"
+    )
+    return 0
+
+
+def cmd_extrapolate(args: argparse.Namespace) -> int:
+    traces = [_load_trace(p) for p in args.trace]
+    forms = EXTENDED_FORMS if args.extended_forms else PAPER_FORMS
+    result = extrapolate_trace(traces, args.target, forms=forms)
+    result.trace.save_npz(args.out)
+    hist = dict(result.report.form_histogram())
+    print(
+        f"extrapolated {traces[0].app} "
+        f"{[t.n_ranks for t in sorted(traces, key=lambda t: t.n_ranks)]} -> "
+        f"{args.target} ranks ({hist}) -> {args.out}"
+    )
+    return 0
+
+
+def cmd_predict(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    machine = get_machine(args.machine)
+    trace = _load_trace(args.trace)
+    prediction = predict_runtime(app, args.ranks, trace, machine)
+    kind = "extrapolated" if trace.extrapolated else "collected"
+    print(
+        f"{args.app} @ {args.ranks} ranks on {args.machine} "
+        f"({kind} trace): predicted runtime {prediction.runtime_s:.6f} s"
+    )
+    return 0
+
+
+def cmd_measure(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    result = measure_runtime(app, args.ranks, get_spec(args.machine))
+    print(
+        f"{args.app} @ {args.ranks} ranks on {args.machine}: "
+        f"measured runtime {result.runtime_s:.6f} s"
+    )
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    app = get_app(args.app)
+    result = run_table1(app, args.train, args.target)
+    print(table1_report(result.rows))
+    print(f"measured runtime: {result.measured_runtime_s:.6f} s")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Trace extrapolation for large-scale computation behavior",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list known apps and machines").set_defaults(
+        fn=cmd_list
+    )
+
+    p = sub.add_parser("collect", help="trace an app at one core count")
+    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--ranks", required=True, type=int)
+    p.add_argument("--machine", default="blue_waters_p1",
+                   choices=sorted(MACHINE_BUILDERS))
+    p.add_argument("--out", required=True, help="signature output directory")
+    p.set_defaults(fn=cmd_collect)
+
+    p = sub.add_parser("extrapolate", help="synthesize a large-count trace")
+    p.add_argument("--trace", required=True, nargs="+",
+                   help="training trace files (.npz or .jsonl)")
+    p.add_argument("--target", required=True, type=int)
+    p.add_argument("--extended-forms", action="store_true",
+                   help="include the paper's SVI extension forms")
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_extrapolate)
+
+    p = sub.add_parser("predict", help="predict runtime from a trace")
+    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--ranks", required=True, type=int)
+    p.add_argument("--machine", default="blue_waters_p1",
+                   choices=sorted(MACHINE_BUILDERS))
+    p.add_argument("--trace", required=True)
+    p.set_defaults(fn=cmd_predict)
+
+    p = sub.add_parser("measure", help="ground-truth runtime of an app")
+    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--ranks", required=True, type=int)
+    p.add_argument("--machine", default="blue_waters_p1",
+                   choices=sorted(MACHINE_BUILDERS))
+    p.set_defaults(fn=cmd_measure)
+
+    p = sub.add_parser("table1", help="run the Table I protocol")
+    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--train", required=True, type=_parse_counts,
+                   help="comma-separated training core counts")
+    p.add_argument("--target", required=True, type=int)
+    p.set_defaults(fn=cmd_table1)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

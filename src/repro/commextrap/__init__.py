@@ -1,0 +1,40 @@
+"""Communication trace extrapolation (ScalaExtrap-style, paper ref [22]).
+
+The paper extrapolates *computation* behavior and notes it "can be
+complemented by communication trace extrapolation" (Wu & Mueller,
+PPoPP'11): synthetically generating the application's communication
+trace for large rank counts from a set of smaller traces.  This package
+implements that complement for SPMD stencil-style codes, closing the
+last dependency on the application at the target count — with it, the
+whole pipeline (computation trace + event timeline) at 8192 ranks is
+synthesized purely from small-count observations:
+
+1. :mod:`repro.commextrap.topology` — recover the virtual process grid
+   from each rank's communication partners (ScalaExtrap's topology
+   identification).
+2. :mod:`repro.commextrap.stanza` — detect the repeating per-time-step
+   event skeleton ("stanza") of each rank and compress the trace to
+   (stanza, repeat count).
+3. :mod:`repro.commextrap.synthesize` — match each target rank to
+   training-representative ranks by grid role (boundary profile +
+   normalized position), fit every scalar event feature (message bytes,
+   compute iterations) across the training counts with the canonical
+   forms, and emit the full target-count event scripts.
+"""
+
+from repro.commextrap.topology import InferredTopology, infer_topology
+from repro.commextrap.stanza import Stanza, compress_script, stanza_signature
+from repro.commextrap.synthesize import (
+    CommExtrapolationError,
+    extrapolate_job,
+)
+
+__all__ = [
+    "InferredTopology",
+    "infer_topology",
+    "Stanza",
+    "compress_script",
+    "stanza_signature",
+    "extrapolate_job",
+    "CommExtrapolationError",
+]

@@ -1,0 +1,112 @@
+"""Stanza detection: compress a rank's trace to its repeating skeleton.
+
+SPMD time-stepping codes emit the same event *shape* every step; only
+scalar payloads (message bytes, compute iterations) vary.  ScalaExtrap
+exploits this regularity; we detect the shortest prefix whose repetition
+reproduces the whole script's type/structure signature and represent the
+trace as one :class:`Stanza` plus a repeat count, with per-slot scalar
+series kept for fitting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.simmpi.events import (
+    CollectiveEvent,
+    ComputeEvent,
+    Event,
+    RecvEvent,
+    SendEvent,
+)
+
+
+def _slot_signature(ev: Event) -> Tuple:
+    """The structural identity of an event (scalars excluded)."""
+    if isinstance(ev, ComputeEvent):
+        return ("compute", ev.block_id)
+    if isinstance(ev, SendEvent):
+        return ("send", ev.tag)
+    if isinstance(ev, RecvEvent):
+        return ("recv", ev.tag)
+    if isinstance(ev, CollectiveEvent):
+        return ("coll", ev.op)
+    raise TypeError(f"unknown event type {type(ev)!r}")
+
+
+def stanza_signature(events: List[Event]) -> Tuple:
+    """Structural signature of a whole event sequence."""
+    return tuple(_slot_signature(ev) for ev in events)
+
+
+def _scalar_of(ev: Event) -> float:
+    if isinstance(ev, ComputeEvent):
+        return float(ev.iterations)
+    if isinstance(ev, (SendEvent, RecvEvent)):
+        return float(ev.nbytes)
+    return float(ev.nbytes)  # collective payload
+
+
+@dataclass
+class Stanza:
+    """One rank's repeating event skeleton.
+
+    ``template`` holds one period's events (the first occurrence);
+    ``repeats`` how many times it recurs; ``scalars[i]`` the per-period
+    scalar values of slot ``i`` (length ``repeats``), letting callers
+    check stationarity or fit within-run trends.
+    """
+
+    rank: int
+    template: List[Event]
+    repeats: int
+    scalars: List[List[float]] = field(default_factory=list)
+
+    @property
+    def n_slots(self) -> int:
+        return len(self.template)
+
+    def signature(self) -> Tuple:
+        return stanza_signature(self.template)
+
+    def slot_scalar(self, slot: int) -> float:
+        """Representative (first-period) scalar of one slot."""
+        return self.scalars[slot][0]
+
+    def is_stationary(self, slot: int) -> bool:
+        """True if the slot's scalar is identical across periods."""
+        vals = self.scalars[slot]
+        return all(v == vals[0] for v in vals)
+
+
+def compress_script(rank: int, events: List[Event]) -> Stanza:
+    """Find the shortest repeating stanza of a rank's event list.
+
+    The whole script must be an integer number of repetitions of a
+    structural period (the normal shape of a time-stepping SPMD trace);
+    scripts with a non-repeating structure compress to a single period
+    covering everything (repeats=1), which downstream code handles
+    uniformly.
+    """
+    n = len(events)
+    if n == 0:
+        return Stanza(rank=rank, template=[], repeats=0)
+    signature = stanza_signature(events)
+    for period in range(1, n + 1):
+        if n % period:
+            continue
+        head = signature[:period]
+        if signature == head * (n // period):
+            repeats = n // period
+            scalars = [
+                [_scalar_of(events[r * period + i]) for r in range(repeats)]
+                for i in range(period)
+            ]
+            return Stanza(
+                rank=rank,
+                template=list(events[:period]),
+                repeats=repeats,
+                scalars=scalars,
+            )
+    raise AssertionError("period=n always matches")  # pragma: no cover

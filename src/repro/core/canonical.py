@@ -1,0 +1,302 @@
+"""Canonical function forms and per-element model selection.
+
+The paper fits four forms to each feature element's values across the
+training core counts — constant, linear, exponential, logarithmic — and
+keeps the best fit (Figs. 3-5).  §VI proposes adding more forms
+(polynomial etc.); those are implemented here as *extended* forms, used
+by the ablation benches.
+
+Selection is least-squares in value space with a parsimony tie-break:
+when two forms explain the training data equally well (common with three
+training points), the simpler form wins, which also extrapolates more
+conservatively.  Forms that cannot represent the data (e.g. exponential
+with mixed-sign values) report an infinite error and drop out.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_finite
+
+#: Relative slack within which a simpler form beats a more complex one.
+_PARSIMONY_RTOL = 1e-6
+#: Cap on the exponent argument to keep exponential evaluation finite.
+_EXP_CLAMP = 60.0
+
+
+class CanonicalForm:
+    """Base class: a parametric y = f(x; params) family."""
+
+    #: short name used in reports and figures
+    name: str = "?"
+    #: minimum number of (distinct-x) training points to fit
+    min_points: int = 2
+    #: complexity rank for parsimony tie-breaks (lower wins ties)
+    complexity: int = 0
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> Optional[np.ndarray]:
+        """Return parameters, or ``None`` if the form cannot fit this data."""
+        raise NotImplementedError
+
+    def evaluate(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self, params: np.ndarray) -> str:
+        raise NotImplementedError
+
+
+class ConstantForm(CanonicalForm):
+    """y = a."""
+
+    name = "constant"
+    min_points = 1
+    complexity = 0
+
+    def fit(self, x, y):
+        return np.array([float(np.mean(y))])
+
+    def evaluate(self, params, x):
+        return np.full_like(np.asarray(x, dtype=np.float64), params[0])
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g}"
+
+
+class LinearForm(CanonicalForm):
+    """y = a + b * x."""
+
+    name = "linear"
+    min_points = 2
+    complexity = 1
+
+    def fit(self, x, y):
+        b, a = np.polyfit(x, y, 1)
+        return np.array([a, b])
+
+    def evaluate(self, params, x):
+        return params[0] + params[1] * np.asarray(x, dtype=np.float64)
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g} + {params[1]:.6g} * x"
+
+
+class LogarithmicForm(CanonicalForm):
+    """y = a + b * ln(x)."""
+
+    name = "log"
+    min_points = 2
+    complexity = 2
+
+    def fit(self, x, y):
+        if np.any(x <= 0):
+            return None
+        b, a = np.polyfit(np.log(x), y, 1)
+        return np.array([a, b])
+
+    def evaluate(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        return params[0] + params[1] * np.log(np.maximum(x, 1e-300))
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g} + {params[1]:.6g} * ln(x)"
+
+
+class ExponentialForm(CanonicalForm):
+    """y = a * exp(b * x), fitted by log-linear regression.
+
+    Requires strictly single-signed, non-zero values; the sign is
+    factored out and restored at evaluation.
+    """
+
+    name = "exp"
+    min_points = 2
+    complexity = 3
+
+    def fit(self, x, y):
+        if np.all(y > 0):
+            sign = 1.0
+        elif np.all(y < 0):
+            sign = -1.0
+        else:
+            return None
+        b, log_a = np.polyfit(x, np.log(sign * y), 1)
+        return np.array([sign * math.exp(log_a), b])
+
+    def evaluate(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        exponent = np.clip(params[1] * x, -_EXP_CLAMP, _EXP_CLAMP)
+        return params[0] * np.exp(exponent)
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g} * exp({params[1]:.6g} * x)"
+
+
+class PowerForm(CanonicalForm):
+    """y = a * x^b (extension form, §VI): log-log regression."""
+
+    name = "power"
+    min_points = 2
+    complexity = 4
+
+    def fit(self, x, y):
+        if np.any(x <= 0):
+            return None
+        if np.all(y > 0):
+            sign = 1.0
+        elif np.all(y < 0):
+            sign = -1.0
+        else:
+            return None
+        b, log_a = np.polyfit(np.log(x), np.log(sign * y), 1)
+        return np.array([sign * math.exp(log_a), b])
+
+    def evaluate(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        with np.errstate(over="ignore"):
+            return params[0] * np.power(np.maximum(x, 1e-300), params[1])
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g} * x^{params[1]:.6g}"
+
+
+class QuadraticForm(CanonicalForm):
+    """y = a + b*x + c*x^2 (extension form, §VI).
+
+    Needs at least four points: with the paper's three training core
+    counts it would interpolate exactly and always win selection, which
+    is precisely the overfitting hazard §VI's "more canonical forms"
+    future work has to manage.
+    """
+
+    name = "quadratic"
+    min_points = 4
+    complexity = 5
+
+    def fit(self, x, y):
+        c, b, a = np.polyfit(x, y, 2)
+        return np.array([a, b, c])
+
+    def evaluate(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        return params[0] + params[1] * x + params[2] * x * x
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g} + {params[1]:.6g}*x + {params[2]:.6g}*x^2"
+
+
+class InverseForm(CanonicalForm):
+    """y = a + b / x (extension form): the strong-scaling natural shape."""
+
+    name = "inverse"
+    min_points = 2
+    complexity = 4
+
+    def fit(self, x, y):
+        if np.any(x == 0):
+            return None
+        b, a = np.polyfit(1.0 / x, y, 1)
+        return np.array([a, b])
+
+    def evaluate(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        return params[0] + params[1] / np.where(x == 0, np.inf, x)
+
+    def describe(self, params):
+        return f"y = {params[0]:.6g} + {params[1]:.6g} / x"
+
+
+#: The paper's four forms (§IV), in parsimony order.
+PAPER_FORMS: Tuple[CanonicalForm, ...] = (
+    ConstantForm(),
+    LinearForm(),
+    LogarithmicForm(),
+    ExponentialForm(),
+)
+
+#: §VI extensions.
+EXTENDED_FORMS: Tuple[CanonicalForm, ...] = PAPER_FORMS + (
+    PowerForm(),
+    InverseForm(),
+    QuadraticForm(),
+)
+
+
+@dataclass
+class FitResult:
+    """Outcome of fitting one form to one element's series."""
+
+    form: CanonicalForm
+    params: np.ndarray
+    sse: float
+
+    @property
+    def name(self) -> str:
+        return self.form.name
+
+    def predict(self, x) -> np.ndarray:
+        return self.form.evaluate(self.params, np.asarray(x, dtype=np.float64))
+
+    def describe(self) -> str:
+        return f"{self.form.name}: {self.form.describe(self.params)} (SSE={self.sse:.4g})"
+
+
+def fit_all(
+    x: Sequence[float],
+    y: Sequence[float],
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+) -> list:
+    """Fit every applicable form; return all results sorted best-first.
+
+    "Best" means lowest SSE, with parsimony tie-breaks (lower complexity
+    wins within relative tolerance).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    y = np.asarray(y, dtype=np.float64)
+    check_finite("x", x)
+    check_finite("y", y)
+    if x.shape != y.shape or x.ndim != 1:
+        raise ValueError("x and y must be equal-length 1-D arrays")
+    if np.unique(x).size != x.size:
+        raise ValueError("training core counts must be distinct")
+    results = []
+    n_distinct = np.unique(x).size
+    for form in forms:
+        if n_distinct < form.min_points:
+            continue
+        params = form.fit(x, y)
+        if params is None or not np.all(np.isfinite(params)):
+            continue
+        residual = form.evaluate(params, x) - y
+        if not np.all(np.isfinite(residual)):
+            continue
+        results.append(FitResult(form=form, params=params, sse=float(residual @ residual)))
+    if not results:
+        raise ValueError("no canonical form could fit the data")
+    # parsimony: every form statistically tied with the best SSE competes
+    # on complexity; the rest follow in SSE order.
+    scale = float(y @ y)
+    best_sse = min(r.sse for r in results)
+    threshold = best_sse * (1.0 + _PARSIMONY_RTOL) + scale * 1e-12
+    tied = sorted(
+        (r for r in results if r.sse <= threshold),
+        key=lambda r: (r.form.complexity, r.sse),
+    )
+    rest = sorted(
+        (r for r in results if r.sse > threshold),
+        key=lambda r: (r.sse, r.form.complexity),
+    )
+    return tied + rest
+
+
+def fit_best(
+    x: Sequence[float],
+    y: Sequence[float],
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+) -> FitResult:
+    """The paper's per-element step: the best fit among the given forms."""
+    return fit_all(x, y, forms)[0]

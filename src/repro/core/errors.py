@@ -1,0 +1,33 @@
+"""Error metrics used throughout the evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+
+_EPS = 1e-12
+
+
+def abs_rel_error(expected: float, actual: float) -> float:
+    """Absolute relative error |actual - expected| / |expected|.
+
+    Matches the paper's "absolute relative error".  When the expected
+    value is (numerically) zero, the error is zero iff the actual value
+    is too, else infinite.
+    """
+    denom = abs(expected)
+    if denom < _EPS:
+        return 0.0 if abs(actual) < _EPS else float("inf")
+    return abs(actual - expected) / denom
+
+
+def signed_rel_error(expected: float, actual: float) -> float:
+    """Signed relative error (positive == overprediction)."""
+    denom = abs(expected)
+    if denom < _EPS:
+        return 0.0 if abs(actual) < _EPS else float("inf")
+    return (actual - expected) / denom
+
+
+def percent(x: float) -> float:
+    """Fraction -> percent (display helper)."""
+    return 100.0 * x

@@ -1,0 +1,163 @@
+"""Trace extrapolation (§IV): synthesize the large-core-count trace.
+
+Takes trace files of the slowest task at a series of small core counts
+(the paper uses three: "using more than three core counts could improve
+the quality of the fit but ... three generally provided adequate
+accuracy"), fits every feature element, and evaluates at the target core
+count, producing a synthetic :class:`~repro.trace.tracefile.TraceFile`
+that downstream prediction consumes exactly like a collected one.
+
+Predicted values are clamped to each feature's physical bounds (hit
+rates to [0, 1], counts to >= 0); the hit-rate block is additionally
+re-monotonized (cumulative rates cannot decrease outward).
+
+Rate elements also get a *trust region*: the extrapolated change beyond
+the largest training count is capped at ``rate_trust_factor`` times the
+total change observed across training.  Hit-rate curves saturate for
+structural reasons (inter-block cache competition) that no canonical
+form can see in three points; an exponential fit through a gently
+accelerating rate otherwise extrapolates straight to 100%.  The cap is
+conservative in exactly the way the fits are optimistic.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm, PAPER_FORMS
+from repro.core.fitting import FitReport, fit_feature_series
+from repro.trace.records import BasicBlockRecord, InstructionRecord
+from repro.trace.tracefile import TraceFile
+
+
+@dataclass
+class ExtrapolationResult:
+    """The synthesized trace plus the fit diagnostics behind it."""
+
+    trace: TraceFile
+    report: FitReport
+    target_n_ranks: int
+
+
+def _check_consistent(traces: Sequence[TraceFile]) -> None:
+    first = traces[0]
+    for other in traces[1:]:
+        if other.schema.fields != first.schema.fields:
+            raise ValueError("traces have differing schemas")
+        if other.app != first.app:
+            raise ValueError(
+                f"traces from different apps: {first.app!r} vs {other.app!r}"
+            )
+        if other.target != first.target:
+            raise ValueError(
+                f"traces against different targets: {first.target!r} vs "
+                f"{other.target!r}"
+            )
+        if sorted(other.blocks) != sorted(first.blocks):
+            raise ValueError("traces have differing basic-block sets")
+        for bid in first.blocks:
+            if other.blocks[bid].n_instructions != first.blocks[bid].n_instructions:
+                raise ValueError(
+                    f"block {bid} has differing instruction counts across traces"
+                )
+
+
+def extrapolate_trace(
+    traces: Sequence[TraceFile],
+    target_n_ranks: int,
+    *,
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+    rank: int = -1,
+    rate_trust_factor: float = 2.0,
+) -> ExtrapolationResult:
+    """Extrapolate a series of small-core-count traces to a large count.
+
+    Parameters
+    ----------
+    traces:
+        Slowest-task trace files at ascending core counts (>= 2; the
+        paper uses 3).
+    target_n_ranks:
+        Core count to synthesize.
+    forms:
+        Canonical forms to select among (paper set by default; pass
+        :data:`~repro.core.canonical.EXTENDED_FORMS` for the §VI
+        extension).
+    rank:
+        Rank id recorded in the synthetic trace (cosmetic; -1 marks
+        "synthetic slowest task").
+    rate_trust_factor:
+        Trust-region width for rate elements, in units of the training
+        range (see module docstring).  ``inf`` disables the cap.
+    """
+    if len(traces) < 2:
+        raise ValueError(
+            f"need at least 2 training traces, got {len(traces)} "
+            "(the paper uses 3)"
+        )
+    traces = sorted(traces, key=lambda t: t.n_ranks)
+    counts = [t.n_ranks for t in traces]
+    if len(set(counts)) != len(counts):
+        raise ValueError(f"duplicate training core counts: {counts}")
+    if target_n_ranks <= 0:
+        raise ValueError(f"target core count must be positive, got {target_n_ranks}")
+    _check_consistent(traces)
+    schema = traces[0].schema
+
+    # assemble per-(block, instr) series across core counts
+    series: Dict[Tuple[int, int], np.ndarray] = {}
+    for bid in sorted(traces[0].blocks):
+        n_instr = traces[0].blocks[bid].n_instructions
+        for k in range(n_instr):
+            rows = [t.blocks[bid].instructions[k].features for t in traces]
+            series[(bid, k)] = np.stack(rows)
+
+    report = fit_feature_series(schema, counts, series, forms)
+
+    out = TraceFile(
+        app=traces[0].app,
+        rank=rank,
+        n_ranks=target_n_ranks,
+        target=traces[0].target,
+        schema=schema,
+        extrapolated=True,
+    )
+    hr_slice = schema.hit_rate_slice
+    for bid in sorted(traces[0].blocks):
+        template = traces[0].blocks[bid]
+        block = BasicBlockRecord(block_id=bid, location=template.location)
+        for k, template_ins in enumerate(template.instructions):
+            vec = schema.empty_vector()
+            for j, feature in enumerate(schema.fields):
+                fit = report.fit_for(bid, k, feature)
+                value = fit.predict(target_n_ranks, schema.bounds(feature))
+                if schema.is_rate_field(feature) and np.isfinite(
+                    rate_trust_factor
+                ):
+                    last = float(fit.train_y[-1])
+                    spread = float(np.ptp(fit.train_y))
+                    value = float(
+                        np.clip(
+                            value,
+                            last - rate_trust_factor * spread,
+                            last + rate_trust_factor * spread,
+                        )
+                    )
+                vec[j] = value
+            # cumulative hit rates must be non-decreasing outward
+            vec[hr_slice] = np.maximum.accumulate(vec[hr_slice])
+            block.instructions.append(
+                InstructionRecord(
+                    instr_id=template_ins.instr_id,
+                    kind=template_ins.kind,
+                    features=vec,
+                )
+            )
+        out.add_block(block)
+    return ExtrapolationResult(
+        trace=out, report=report, target_n_ranks=target_n_ranks
+    )

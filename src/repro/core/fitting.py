@@ -1,0 +1,153 @@
+"""Per-element fitting across a trace series.
+
+Applies :func:`repro.core.canonical.fit_best` to every element of every
+instruction's feature vector over the training core counts, recording
+which form won and how well it fit — the data behind Figs. 3-5 and the
+<20%-error claim of §IV.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm, FitResult, PAPER_FORMS, fit_all
+from repro.trace.features import FeatureSchema
+
+
+@dataclass
+class ElementFit:
+    """The fitted models for one (block, instruction, feature) element.
+
+    ``candidates`` hold every applicable canonical form, best-first (SSE
+    with parsimony tie-breaks).  ``fit`` is the *selected* model: by
+    default the best fit, but :meth:`select_for_target` may demote a fit
+    whose extrapolation leaves the feature's physical range (a negative
+    operation count, say) in favor of the next-best form that stays
+    physical — without this, a least-squares line through a decaying
+    count series extrapolates below zero and clamping would destroy the
+    proportionality between related elements (see DESIGN.md §5).
+    """
+
+    block_id: int
+    instr_id: int
+    feature: str
+    candidates: List[FitResult]
+    train_x: np.ndarray
+    train_y: np.ndarray
+    selected: int = 0
+
+    @property
+    def fit(self) -> FitResult:
+        return self.candidates[self.selected]
+
+    def select_for_target(
+        self, n_ranks: float, bounds: Tuple[float, float]
+    ) -> FitResult:
+        """Pick the best fit whose prediction at ``n_ranks`` is physical.
+
+        A candidate is rejected if its prediction falls below the lower
+        bound, or is non-positive when every training value was strictly
+        positive (counts of an executed instruction cannot vanish) —
+        clamping such a prediction would destroy the proportionality
+        between related count elements.  Predictions *above* the upper
+        bound are kept: for bounded rates, exceeding the bound is
+        saturation and the caller's clamp is the physical behavior.
+        If every candidate is rejected, the best fit is kept.
+        """
+        lo, _hi = bounds
+        require_positive = bool(np.all(self.train_y > 0))
+        for i, candidate in enumerate(self.candidates):
+            raw = float(candidate.predict(np.array([n_ranks]))[0])
+            if not np.isfinite(raw):
+                continue
+            if raw < lo:
+                continue
+            if require_positive and raw <= 0:
+                continue
+            self.selected = i
+            return candidate
+        self.selected = 0
+        return self.candidates[0]
+
+    def predict(self, n_ranks: float, bounds: Tuple[float, float]) -> float:
+        """Evaluate the selected fit at a core count, clamped to bounds."""
+        fit = self.select_for_target(n_ranks, bounds)
+        raw = float(fit.predict(np.array([n_ranks]))[0])
+        lo, hi = bounds
+        return float(np.clip(raw, lo, hi))
+
+    def training_max_rel_error(self) -> float:
+        """Worst relative training residual (diagnostic)."""
+        pred = self.fit.predict(self.train_x)
+        denom = np.maximum(np.abs(self.train_y), 1e-12)
+        return float(np.max(np.abs(pred - self.train_y) / denom))
+
+
+@dataclass
+class FitReport:
+    """All element fits of one trace-extrapolation run."""
+
+    core_counts: List[int]
+    fits: Dict[Tuple[int, int, str], ElementFit] = field(default_factory=dict)
+
+    def fit_for(self, block_id: int, instr_id: int, feature: str) -> ElementFit:
+        try:
+            return self.fits[(block_id, instr_id, feature)]
+        except KeyError:
+            raise KeyError(
+                f"no fit recorded for block {block_id}, instr {instr_id}, "
+                f"feature {feature!r}"
+            ) from None
+
+    def form_histogram(self) -> Counter:
+        """How often each canonical form won selection."""
+        return Counter(f.fit.form.name for f in self.fits.values())
+
+    def elements(self) -> List[ElementFit]:
+        return list(self.fits.values())
+
+
+def fit_feature_series(
+    schema: FeatureSchema,
+    core_counts: Sequence[int],
+    series: Dict[Tuple[int, int], np.ndarray],
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+) -> FitReport:
+    """Fit every feature element of every instruction.
+
+    Parameters
+    ----------
+    schema:
+        Trace schema (names the feature columns).
+    core_counts:
+        Training core counts, ascending.
+    series:
+        ``(block_id, instr_id) -> (n_counts, n_features)`` arrays of the
+        instruction's feature vectors at each training count.
+    """
+    x = np.asarray(core_counts, dtype=np.float64)
+    if np.any(np.diff(x) <= 0):
+        raise ValueError("core counts must be strictly ascending")
+    report = FitReport(core_counts=[int(c) for c in core_counts])
+    for (block_id, instr_id), matrix in series.items():
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (len(core_counts), schema.n_features):
+            raise ValueError(
+                f"series for block {block_id} instr {instr_id} has shape "
+                f"{matrix.shape}, expected ({len(core_counts)}, {schema.n_features})"
+            )
+        for j, feature in enumerate(schema.fields):
+            candidates = fit_all(x, matrix[:, j], forms)
+            report.fits[(block_id, instr_id, feature)] = ElementFit(
+                block_id=block_id,
+                instr_id=instr_id,
+                feature=feature,
+                candidates=candidates,
+                train_x=x,
+                train_y=matrix[:, j].copy(),
+            )
+    return report

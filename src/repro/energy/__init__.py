@@ -1,0 +1,35 @@
+"""Power and energy modeling on top of the prediction framework.
+
+The paper selects its feature set because the features "are important
+for both performance and energy" (§I) and builds on PMaC's energy work:
+memory/computation-aware dynamic frequency scaling (ref [23]) and
+power/energy models of HPC kernels from the same low-level features
+(ref [24]).  This package completes that half of the story:
+
+- :mod:`repro.energy.power` — per-block power draw from the trace's
+  feature vectors (activity-based: achieved flop and byte rates against
+  the machine's dynamic-power envelope) and whole-run energy from a
+  replayed timeline.
+- :mod:`repro.energy.dvfs` — frequency-scaling what-ifs: memory-bound
+  blocks tolerate lower frequency with little slowdown, so a per-block
+  frequency schedule saves energy — computable at 8192 cores from an
+  extrapolated trace, without the machine or the run existing.
+"""
+
+from repro.energy.power import (
+    BlockEnergyBreakdown,
+    EnergyModel,
+    EnergyResult,
+    PowerParameters,
+)
+from repro.energy.dvfs import DvfsPlan, DvfsPoint, plan_dvfs
+
+__all__ = [
+    "PowerParameters",
+    "BlockEnergyBreakdown",
+    "EnergyModel",
+    "EnergyResult",
+    "DvfsPoint",
+    "DvfsPlan",
+    "plan_dvfs",
+]

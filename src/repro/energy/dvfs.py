@@ -1,0 +1,128 @@
+"""Memory- and computation-aware DVFS what-ifs (paper ref [23]).
+
+Laurenzano et al. (Euro-Par'11) reduce energy by lowering core frequency
+during memory-bound phases: memory time barely responds to frequency,
+while core dynamic power drops superlinearly.  With per-block memory/fp
+breakdowns (Eq. 1) and the activity-based power model, the same analysis
+falls out here per basic block:
+
+- time(f)   = memory_time + fp_time * (f_nom / f)
+- power(f)  = static + mem_dynamic + core_dynamic * (f / f_nom)^3
+  (voltage tracks frequency, P_dyn ~ f * V^2)
+
+``plan_dvfs`` picks each block's energy-minimal frequency subject to a
+slowdown budget — computable from an *extrapolated* trace, i.e. a DVFS
+schedule for 8192 cores designed without ever running there.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.energy.power import EnergyModel
+from repro.util.validation import check_in_range, check_positive
+
+#: Typical discrete frequency ladder (relative to nominal).
+DEFAULT_FREQUENCIES = (0.6, 0.7, 0.8, 0.9, 1.0)
+
+
+@dataclass
+class DvfsPoint:
+    """One block's behavior at one relative frequency."""
+
+    block_id: int
+    frequency: float
+    time_s: float
+    power_w: float
+
+    @property
+    def energy_j(self) -> float:
+        return self.time_s * self.power_w
+
+
+@dataclass
+class DvfsPlan:
+    """A per-block frequency schedule and its aggregate effect."""
+
+    choices: Dict[int, DvfsPoint] = field(default_factory=dict)
+    baseline_time_s: float = 0.0
+    baseline_energy_j: float = 0.0
+
+    @property
+    def time_s(self) -> float:
+        return sum(p.time_s for p in self.choices.values())
+
+    @property
+    def energy_j(self) -> float:
+        return sum(p.energy_j for p in self.choices.values())
+
+    def energy_savings(self) -> float:
+        if self.baseline_energy_j <= 0:
+            return 0.0
+        return 1.0 - self.energy_j / self.baseline_energy_j
+
+    def slowdown(self) -> float:
+        if self.baseline_time_s <= 0:
+            return 0.0
+        return self.time_s / self.baseline_time_s - 1.0
+
+
+def _point(model: EnergyModel, block_id: int, frequency: float) -> DvfsPoint:
+    comp = model.computation.breakdown(block_id)
+    from repro.psins.convolution import combine_with_overlap
+
+    fp_scaled = comp.fp_time_s / frequency
+    time_s = combine_with_overlap(
+        comp.memory_time_s, fp_scaled, model.computation.config.overlap
+    )
+    base = model.block(block_id)
+    power_w = (
+        model.power.static_w
+        + model.power.mem_dynamic_max_w * base.mem_activity
+        + model.power.core_dynamic_max_w
+        * base.core_activity
+        * frequency**3
+    )
+    return DvfsPoint(
+        block_id=block_id, frequency=frequency, time_s=time_s, power_w=power_w
+    )
+
+
+def plan_dvfs(
+    model: EnergyModel,
+    *,
+    frequencies: Sequence[float] = DEFAULT_FREQUENCIES,
+    max_slowdown: float = 0.05,
+) -> DvfsPlan:
+    """Choose each block's energy-minimal frequency within a slowdown cap.
+
+    Parameters
+    ----------
+    model:
+        Energy model over the (possibly extrapolated) trace.
+    frequencies:
+        Available relative frequencies (must include 1.0).
+    max_slowdown:
+        Per-block slowdown budget (fraction of the block's nominal
+        time); the aggregate slowdown is then bounded by the same
+        fraction.
+    """
+    check_in_range("max_slowdown", max_slowdown, low=0.0)
+    if 1.0 not in frequencies:
+        raise ValueError("the frequency ladder must include nominal (1.0)")
+    for f in frequencies:
+        check_positive("frequency", f)
+    plan = DvfsPlan()
+    for bid in model.computation.trace.blocks:
+        nominal = _point(model, bid, 1.0)
+        plan.baseline_time_s += nominal.time_s
+        plan.baseline_energy_j += nominal.energy_j
+        budget = nominal.time_s * (1.0 + max_slowdown)
+        best = nominal
+        for f in frequencies:
+            candidate = _point(model, bid, f)
+            if candidate.time_s <= budget and candidate.energy_j < best.energy_j:
+                best = candidate
+        plan.choices[bid] = best
+    return plan

@@ -1,0 +1,33 @@
+"""Synthetic-binary instrumentation: the PEBIL stand-in.
+
+The real pipeline instruments compiled executables with PEBIL and pipes
+each process's memory address stream through a cache simulator while the
+application runs (paper Fig. 2).  Our "executables" are synthetic IR
+programs — ordered basic blocks whose instructions carry parametric
+access patterns and op counts.  The instrumenter walks the IR exactly the
+way PEBIL walks a binary: lay out data regions, attach probes to every
+memory instruction, run, and stream addresses into the simulator,
+producing a per-task :class:`~repro.trace.tracefile.TraceFile`.
+"""
+
+from repro.instrument.program import (
+    BasicBlockSpec,
+    FpInstructionSpec,
+    MemInstructionSpec,
+    Program,
+)
+from repro.instrument.builder import ProgramBuilder
+from repro.instrument.pebil import InstrumentedProgram, InstrumentationReport
+from repro.instrument.collector import CollectorConfig, collect_trace
+
+__all__ = [
+    "MemInstructionSpec",
+    "FpInstructionSpec",
+    "BasicBlockSpec",
+    "Program",
+    "ProgramBuilder",
+    "InstrumentedProgram",
+    "InstrumentationReport",
+    "CollectorConfig",
+    "collect_trace",
+]

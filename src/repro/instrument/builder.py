@@ -1,0 +1,121 @@
+"""Fluent construction of synthetic programs.
+
+The app proxies build many similarly-shaped blocks; :class:`ProgramBuilder`
+removes the boilerplate of ids, locations and tuple plumbing while
+keeping :mod:`repro.instrument.program` dataclasses frozen and explicit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.instrument.program import (
+    BasicBlockSpec,
+    FpInstructionSpec,
+    MemInstructionSpec,
+    Program,
+)
+from repro.memstream.patterns import AccessPattern
+from repro.trace.records import SourceLocation
+
+
+class BlockBuilder:
+    """Accumulates instructions for one basic block."""
+
+    def __init__(
+        self,
+        program_builder: "ProgramBuilder",
+        block_id: int,
+        function: str,
+        file: str,
+        line: int,
+    ):
+        self._pb = program_builder
+        self._block_id = block_id
+        self._location = SourceLocation(
+            function=function, file=file, line=line, address=0x400000 + 64 * block_id
+        )
+        self._mem: List[MemInstructionSpec] = []
+        self._fp: List[FpInstructionSpec] = []
+        self._exec_count = 1
+
+    def load(self, pattern: AccessPattern, per_iteration: int = 1) -> "BlockBuilder":
+        self._mem.append(
+            MemInstructionSpec(kind="load", pattern=pattern, per_iteration=per_iteration)
+        )
+        return self
+
+    def store(self, pattern: AccessPattern, per_iteration: int = 1) -> "BlockBuilder":
+        self._mem.append(
+            MemInstructionSpec(kind="store", pattern=pattern, per_iteration=per_iteration)
+        )
+        return self
+
+    def fp(
+        self,
+        op_counts: Dict[str, float],
+        *,
+        ilp: float = 2.0,
+        dep_chain: float = 3.0,
+    ) -> "BlockBuilder":
+        self._fp.append(
+            FpInstructionSpec(op_counts=dict(op_counts), ilp=ilp, dep_chain=dep_chain)
+        )
+        return self
+
+    def executes(self, count: int) -> "BlockBuilder":
+        """Set the block's dynamic execution (iteration) count."""
+        self._exec_count = int(count)
+        return self
+
+    def done(self) -> "ProgramBuilder":
+        """Finalize the block and return to the program builder."""
+        self._pb._program.add_block(
+            BasicBlockSpec(
+                block_id=self._block_id,
+                location=self._location,
+                mem_instructions=tuple(self._mem),
+                fp_instructions=tuple(self._fp),
+                exec_count=self._exec_count,
+            )
+        )
+        return self._pb
+
+
+class ProgramBuilder:
+    """Builds a :class:`~repro.instrument.program.Program` fluently.
+
+    Example::
+
+        program = (
+            ProgramBuilder("jacobi")
+            .block("sweep", file="jacobi.f90", line=42)
+            .load(StencilPattern(...)).store(StridedPattern(...))
+            .fp({"fp_add": 4, "fp_mul": 2})
+            .executes(10_000)
+            .done()
+            .build()
+        )
+    """
+
+    def __init__(self, name: str):
+        self._program = Program(name=name)
+        self._next_id = 0
+
+    def block(
+        self,
+        function: str,
+        *,
+        file: str = "<synthetic>",
+        line: int = 0,
+        block_id: Optional[int] = None,
+    ) -> BlockBuilder:
+        bid = self._next_id if block_id is None else block_id
+        self._next_id = max(self._next_id, bid) + 1
+        return BlockBuilder(self, bid, function, file, line)
+
+    def build(self, *, layout: bool = True) -> Program:
+        """Finish; optionally run the address-layout pass."""
+        if layout:
+            self._program.layout()
+        return self._program

@@ -1,0 +1,194 @@
+"""Synthetic executable IR.
+
+A :class:`Program` is the static image of one MPI task's computation: an
+ordered list of basic blocks, each holding memory instructions (with
+access patterns) and floating-point instructions (with op-class mixes and
+dependence structure), plus a dynamic execution count.  The app layer
+(:mod:`repro.apps`) generates one program per (rank, core count) from its
+domain decomposition; nothing in this module knows about MPI or scaling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.memstream.patterns import AccessPattern
+from repro.trace.records import SourceLocation
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class MemInstructionSpec:
+    """One static memory instruction.
+
+    Parameters
+    ----------
+    kind:
+        ``"load"`` or ``"store"``.
+    pattern:
+        Access pattern (region size == the instruction's working set).
+        The base address is assigned by the program layout pass.
+    per_iteration:
+        Dynamic accesses per block iteration.
+    """
+
+    kind: str
+    pattern: AccessPattern
+    per_iteration: int = 1
+
+    def __post_init__(self):
+        if self.kind not in ("load", "store"):
+            raise ValueError(f"mem instruction kind must be load/store, got {self.kind!r}")
+        check_positive("per_iteration", self.per_iteration)
+
+
+@dataclass(frozen=True)
+class FpInstructionSpec:
+    """One static floating-point instruction (or fused group).
+
+    Parameters
+    ----------
+    op_counts:
+        Ops per block iteration, keyed by class (``fp_add``...).
+    ilp:
+        Independent-operation parallelism available around this
+        instruction (how many such ops the core can overlap).
+    dep_chain:
+        Average dependence-chain length feeding the op.
+    """
+
+    op_counts: Dict[str, float]
+    ilp: float = 2.0
+    dep_chain: float = 3.0
+
+    def __post_init__(self):
+        if not self.op_counts:
+            raise ValueError("fp instruction needs at least one op class")
+        for kind, count in self.op_counts.items():
+            if kind not in ("fp_add", "fp_mul", "fp_fma", "fp_div"):
+                raise ValueError(f"unknown fp op class {kind!r}")
+            check_in_range(f"op_counts[{kind}]", count, low=0.0)
+        check_positive("ilp", self.ilp)
+        check_positive("dep_chain", self.dep_chain)
+
+    @property
+    def ops_per_iteration(self) -> float:
+        return float(sum(self.op_counts.values()))
+
+
+@dataclass(frozen=True)
+class BasicBlockSpec:
+    """One basic block: instructions + dynamic execution count."""
+
+    block_id: int
+    location: SourceLocation
+    mem_instructions: Tuple[MemInstructionSpec, ...] = ()
+    fp_instructions: Tuple[FpInstructionSpec, ...] = ()
+    exec_count: int = 1
+
+    def __post_init__(self):
+        check_in_range("exec_count", self.exec_count, low=0)
+        if not self.mem_instructions and not self.fp_instructions:
+            raise ValueError(f"block {self.block_id} has no instructions")
+
+    @property
+    def n_instructions(self) -> int:
+        return len(self.mem_instructions) + len(self.fp_instructions)
+
+    @property
+    def mem_accesses_per_iteration(self) -> int:
+        return sum(m.per_iteration for m in self.mem_instructions)
+
+    @property
+    def total_mem_accesses(self) -> int:
+        return self.exec_count * self.mem_accesses_per_iteration
+
+    @property
+    def total_fp_ops(self) -> float:
+        return self.exec_count * sum(
+            f.ops_per_iteration for f in self.fp_instructions
+        )
+
+    def with_layout(self, bases: Sequence[int]) -> "BasicBlockSpec":
+        """Relocate each memory pattern to its assigned base address."""
+        if len(bases) != len(self.mem_instructions):
+            raise ValueError("one base address required per memory instruction")
+        mem = tuple(
+            replace(m, pattern=m.pattern.with_base(b))
+            for m, b in zip(self.mem_instructions, bases)
+        )
+        return replace(self, mem_instructions=mem)
+
+
+#: Alignment for data-region layout (a large page).
+_REGION_ALIGN = 1 << 21
+
+
+@dataclass
+class Program:
+    """Static image of one task's computation.
+
+    ``blocks`` are in program order; the collector executes them in this
+    order (the program's outer time-step loop re-enters the sequence).
+    Call :meth:`layout` before execution to place every data region at a
+    unique, non-aliasing base address.
+    """
+
+    name: str
+    blocks: List[BasicBlockSpec] = field(default_factory=list)
+    laid_out: bool = False
+
+    def add_block(self, block: BasicBlockSpec) -> None:
+        if any(b.block_id == block.block_id for b in self.blocks):
+            raise ValueError(f"duplicate block id {block.block_id}")
+        self.blocks.append(block)
+        self.laid_out = False
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def total_mem_accesses(self) -> int:
+        return sum(b.total_mem_accesses for b in self.blocks)
+
+    @property
+    def total_fp_ops(self) -> float:
+        return sum(b.total_fp_ops for b in self.blocks)
+
+    def block(self, block_id: int) -> BasicBlockSpec:
+        for b in self.blocks:
+            if b.block_id == block_id:
+                return b
+        raise KeyError(f"no block with id {block_id}")
+
+    def layout(self, *, shared_regions: Optional[Dict[str, int]] = None) -> "Program":
+        """Assign non-overlapping base addresses to all data regions.
+
+        Regions are packed in block/instruction order with large-page
+        alignment, mimicking a loader placing distinct arrays.  Returns
+        ``self`` (mutated) for chaining.
+        """
+        cursor = _REGION_ALIGN  # leave page zero unmapped
+        new_blocks: List[BasicBlockSpec] = []
+        for block in self.blocks:
+            bases = []
+            for m in block.mem_instructions:
+                size = m.pattern.region_bytes
+                bases.append(cursor)
+                cursor += ((size + _REGION_ALIGN - 1) // _REGION_ALIGN) * _REGION_ALIGN
+            new_blocks.append(block.with_layout(bases))
+        self.blocks = new_blocks
+        self.laid_out = True
+        return self
+
+    def footprint_bytes(self) -> int:
+        """Total bytes of all data regions (post- or pre-layout)."""
+        return sum(
+            m.pattern.region_bytes
+            for b in self.blocks
+            for m in b.mem_instructions
+        )

@@ -1,0 +1,32 @@
+"""Machine profiles: the PMaC framework's description of a target system.
+
+A machine profile captures "the rates at which a machine can perform
+certain fundamental operations" (paper §III): memory bandwidth as a
+function of where references are served in the hierarchy (measured by the
+MultiMAPS probe, Fig. 1), floating-point issue rates, and network
+latency/bandwidth for the communication model.
+
+The *hardware truth* of a simulated machine lives in
+:class:`repro.machine.timing.HardwareTiming`; MultiMAPS only ever observes
+achieved bandwidths through probes, exactly as the real benchmark cannot
+see datasheet numbers — it measures.
+"""
+
+from repro.machine.timing import HardwareTiming
+from repro.machine.surface import BandwidthSurface
+from repro.machine.multimaps import MultiMAPSProbe, MultiMAPSResult, run_multimaps
+from repro.machine.network import NetworkParameters
+from repro.machine.profile import MachineProfile
+from repro.machine.systems import get_machine, MACHINE_BUILDERS
+
+__all__ = [
+    "HardwareTiming",
+    "BandwidthSurface",
+    "MultiMAPSProbe",
+    "MultiMAPSResult",
+    "run_multimaps",
+    "NetworkParameters",
+    "MachineProfile",
+    "get_machine",
+    "MACHINE_BUILDERS",
+]

@@ -1,0 +1,98 @@
+"""Network parameters and message-cost models.
+
+The PMaC framework's communication model maps each MPI event to a cost on
+the target network.  We use the standard postal (alpha-beta) model with a
+per-message-size bandwidth curve (small messages achieve a fraction of
+peak, as real probes show) and logarithmic tree models for collectives —
+the level of detail PSiNS-class replay simulators use.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.util.validation import check_in_range, check_positive
+
+
+@dataclass(frozen=True)
+class NetworkParameters:
+    """Point-to-point and collective cost parameters for one machine.
+
+    Parameters
+    ----------
+    latency_us:
+        Zero-byte one-way message latency, microseconds.
+    bandwidth_gbs:
+        Asymptotic large-message bandwidth, GB/s.
+    half_bandwidth_bytes:
+        Message size at which achieved bandwidth is half of peak
+        (parameterizes the small-message penalty curve).
+    per_hop_us:
+        Additional latency per tree level in collectives.
+    send_overhead_us:
+        Sender-side CPU overhead of posting a (buffered) send.
+    """
+
+    latency_us: float = 1.5
+    bandwidth_gbs: float = 5.0
+    half_bandwidth_bytes: int = 8192
+    per_hop_us: float = 0.5
+    send_overhead_us: float = 0.3
+
+    def __post_init__(self):
+        check_positive("latency_us", self.latency_us)
+        check_positive("bandwidth_gbs", self.bandwidth_gbs)
+        check_positive("half_bandwidth_bytes", self.half_bandwidth_bytes)
+        check_in_range("per_hop_us", self.per_hop_us, low=0.0)
+        check_in_range("send_overhead_us", self.send_overhead_us, low=0.0)
+
+    def effective_bandwidth_gbs(self, message_bytes: int) -> float:
+        """Achieved bandwidth for a message of the given size."""
+        if message_bytes <= 0:
+            return self.bandwidth_gbs
+        frac = message_bytes / (message_bytes + self.half_bandwidth_bytes)
+        return self.bandwidth_gbs * max(frac, 1e-9)
+
+    def p2p_time_s(self, message_bytes: int) -> float:
+        """One point-to-point message transfer time in seconds."""
+        if message_bytes < 0:
+            raise ValueError(f"negative message size: {message_bytes}")
+        transfer_ns = message_bytes / self.effective_bandwidth_gbs(max(message_bytes, 1))
+        return self.latency_us * 1e-6 + transfer_ns * 1e-9
+
+    def _tree_depth(self, n_ranks: int) -> int:
+        return max(1, math.ceil(math.log2(max(n_ranks, 2))))
+
+    def barrier_time_s(self, n_ranks: int) -> float:
+        """Dissemination barrier: O(log p) rounds of latency."""
+        depth = self._tree_depth(n_ranks)
+        return depth * (self.latency_us + self.per_hop_us) * 1e-6
+
+    def allreduce_time_s(self, n_ranks: int, message_bytes: int) -> float:
+        """Recursive-doubling allreduce: log p rounds, full payload each."""
+        depth = self._tree_depth(n_ranks)
+        return depth * (
+            (self.latency_us + self.per_hop_us) * 1e-6
+            + self.p2p_time_s(message_bytes)
+            - self.latency_us * 1e-6
+        ) + self.latency_us * 1e-6
+
+    def broadcast_time_s(self, n_ranks: int, message_bytes: int) -> float:
+        """Binomial-tree broadcast."""
+        depth = self._tree_depth(n_ranks)
+        return depth * self.p2p_time_s(message_bytes)
+
+    def reduce_time_s(self, n_ranks: int, message_bytes: int) -> float:
+        """Binomial-tree reduce (same shape as broadcast)."""
+        return self.broadcast_time_s(n_ranks, message_bytes)
+
+    def alltoall_time_s(self, n_ranks: int, message_bytes: int) -> float:
+        """Pairwise-exchange alltoall: p-1 rounds of p2p."""
+        rounds = max(n_ranks - 1, 1)
+        return rounds * self.p2p_time_s(message_bytes)
+
+    def allgather_time_s(self, n_ranks: int, message_bytes: int) -> float:
+        """Ring allgather: p-1 rounds, per-rank payload each round."""
+        rounds = max(n_ranks - 1, 1)
+        return rounds * self.p2p_time_s(message_bytes)

@@ -1,0 +1,111 @@
+"""The machine profile: what the prediction framework knows about a target.
+
+Combines the MultiMAPS bandwidth surface, floating-point issue rates and
+network parameters.  Note the separation of concerns mirroring the paper:
+
+- the *profile* is measurement-derived (MultiMAPS surface);
+- the *hardware truth* (:class:`~repro.machine.timing.HardwareTiming`)
+  is only used by the ground-truth simulator standing in for "running
+  the application for real".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.cache.hierarchy import CacheHierarchy
+from repro.machine.multimaps import run_multimaps
+from repro.machine.network import NetworkParameters
+from repro.machine.surface import BandwidthSurface
+from repro.machine.timing import FP_OP_KINDS, HardwareTiming
+
+
+@dataclass
+class MachineProfile:
+    """Everything the PMaC convolution needs to know about a target system.
+
+    Parameters
+    ----------
+    name:
+        Machine label.
+    hierarchy:
+        Target cache hierarchy (drives signature collection: the cache
+        simulator mimics *this* hierarchy while tracing on the base
+        system — cross-architectural prediction, §III-A).
+    surface:
+        MultiMAPS-fitted bandwidth surface.
+    fp_rates_gflops:
+        Issue rate per fp op class, GFLOP/s (measured by arithmetic
+        microbenchmarks in the real framework; here derived from probe
+        loops against the hardware timing).
+    network:
+        Communication model parameters.
+    """
+
+    name: str
+    hierarchy: CacheHierarchy
+    surface: BandwidthSurface
+    fp_rates_gflops: Dict[str, float]
+    network: NetworkParameters = field(default_factory=NetworkParameters)
+
+    def memory_bandwidth_gbs(self, cumulative_hit_rates) -> np.ndarray:
+        """Bandwidth for references with the given per-level hit rates."""
+        return self.surface.bandwidth_gbs(cumulative_hit_rates)
+
+    def fp_time_s(self, counts: Dict[str, float]) -> float:
+        """Time to issue the given floating-point op counts, seconds."""
+        total = 0.0
+        for kind, count in counts.items():
+            if count == 0:
+                continue
+            rate = self.fp_rates_gflops.get(kind)
+            if rate is None:
+                raise KeyError(f"machine {self.name!r} has no fp rate for {kind!r}")
+            total += count / (rate * 1e9)
+        return total
+
+    @property
+    def n_levels(self) -> int:
+        return self.hierarchy.n_levels
+
+    def describe(self) -> str:
+        fp = ", ".join(f"{k}={v:.1f}" for k, v in self.fp_rates_gflops.items())
+        return (
+            f"MachineProfile({self.name})\n"
+            f"{self.hierarchy.describe()}\n"
+            f"  {self.surface.describe()}\n"
+            f"  fp GFLOP/s: {fp}\n"
+            f"  network: {self.network}"
+        )
+
+
+def build_profile(
+    name: str,
+    hierarchy: CacheHierarchy,
+    timing: HardwareTiming,
+    network: Optional[NetworkParameters] = None,
+    *,
+    accesses_per_probe: int = 100_000,
+) -> MachineProfile:
+    """Measure a machine profile from a simulated machine.
+
+    Runs the MultiMAPS sweep against the machine's hierarchy + hardware
+    timing and derives fp issue rates from the timing's issue times
+    (standing in for the framework's arithmetic microbenchmarks).
+    """
+    mm = run_multimaps(
+        hierarchy, timing, accesses_per_probe=accesses_per_probe
+    )
+    surface = mm.surface()
+    # ops/ns == Gop/s, so GFLOP/s is simply the reciprocal issue time
+    fp_rates = {kind: 1.0 / timing.fp_time_ns[kind] for kind in FP_OP_KINDS}
+    return MachineProfile(
+        name=name,
+        hierarchy=hierarchy,
+        surface=surface,
+        fp_rates_gflops=fp_rates,
+        network=network or NetworkParameters(),
+    )

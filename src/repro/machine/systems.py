@@ -1,0 +1,136 @@
+"""Named simulated machines.
+
+Each machine bundles the cache hierarchy (from
+:mod:`repro.cache.configs`), a ground-truth hardware timing, and network
+parameters.  ``get_machine`` builds the full measurement-derived
+:class:`~repro.machine.profile.MachineProfile` (runs MultiMAPS); profiles
+are cached per process because probing is the expensive step, like
+keeping machine profiles on disk in the real framework.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.cache import configs as cache_configs
+from repro.cache.hierarchy import CacheHierarchy
+from repro.machine.network import NetworkParameters
+from repro.machine.profile import MachineProfile, build_profile
+from repro.machine.timing import HardwareTiming
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """Hardware definition of a simulated machine (pre-measurement)."""
+
+    name: str
+    hierarchy: CacheHierarchy
+    timing: HardwareTiming
+    network: NetworkParameters
+
+
+def _opteron_2level_spec() -> MachineSpec:
+    return MachineSpec(
+        name="Opteron-2L",
+        hierarchy=cache_configs.opteron_2level(),
+        timing=HardwareTiming(
+            level_time_ns=(0.75, 3.0),
+            memory_time_ns=28.0,
+            frequency_ghz=2.2,
+        ),
+        network=NetworkParameters(latency_us=2.0, bandwidth_gbs=2.0),
+    )
+
+
+def _cray_xt5_spec() -> MachineSpec:
+    return MachineSpec(
+        name="CrayXT5",
+        hierarchy=cache_configs.cray_xt5(),
+        timing=HardwareTiming(
+            level_time_ns=(0.7, 2.5, 8.0),
+            memory_time_ns=30.0,
+            frequency_ghz=2.6,
+        ),
+        network=NetworkParameters(
+            latency_us=6.0, bandwidth_gbs=1.6, half_bandwidth_bytes=16384
+        ),
+    )
+
+
+def _blue_waters_p1_spec() -> MachineSpec:
+    return MachineSpec(
+        name="BlueWatersP1",
+        hierarchy=cache_configs.blue_waters_p1(),
+        timing=HardwareTiming(
+            level_time_ns=(0.5, 2.0, 6.0),
+            memory_time_ns=16.0,
+            fp_time_ns={
+                "fp_add": 0.25,
+                "fp_mul": 0.25,
+                "fp_fma": 0.28,
+                "fp_div": 4.0,
+            },
+            frequency_ghz=3.8,
+        ),
+        network=NetworkParameters(
+            latency_us=1.2, bandwidth_gbs=9.0, half_bandwidth_bytes=8192
+        ),
+    )
+
+
+def _system_a_spec() -> MachineSpec:
+    bw = _blue_waters_p1_spec()
+    return MachineSpec(
+        name="SystemA-12KB-L1",
+        hierarchy=cache_configs.system_a(),
+        timing=bw.timing,
+        network=bw.network,
+    )
+
+
+def _system_b_spec() -> MachineSpec:
+    bw = _blue_waters_p1_spec()
+    return MachineSpec(
+        name="SystemB-56KB-L1",
+        hierarchy=cache_configs.system_b(),
+        timing=bw.timing,
+        network=bw.network,
+    )
+
+
+MACHINE_BUILDERS: Dict[str, Callable[[], MachineSpec]] = {
+    "opteron_2level": _opteron_2level_spec,
+    "cray_xt5": _cray_xt5_spec,
+    "blue_waters_p1": _blue_waters_p1_spec,
+    "system_a": _system_a_spec,
+    "system_b": _system_b_spec,
+}
+
+_SPEC_CACHE: Dict[str, MachineSpec] = {}
+_PROFILE_CACHE: Dict[Tuple[str, int], MachineProfile] = {}
+
+
+def get_spec(name: str) -> MachineSpec:
+    """Look up a machine's hardware definition."""
+    if name not in MACHINE_BUILDERS:
+        known = ", ".join(sorted(MACHINE_BUILDERS))
+        raise KeyError(f"unknown machine {name!r}; known: {known}")
+    if name not in _SPEC_CACHE:
+        _SPEC_CACHE[name] = MACHINE_BUILDERS[name]()
+    return _SPEC_CACHE[name]
+
+
+def get_machine(name: str, *, accesses_per_probe: int = 100_000) -> MachineProfile:
+    """Build (and cache) the measured profile for a named machine."""
+    key = (name, accesses_per_probe)
+    if key not in _PROFILE_CACHE:
+        spec = get_spec(name)
+        _PROFILE_CACHE[key] = build_profile(
+            spec.name,
+            spec.hierarchy,
+            spec.timing,
+            spec.network,
+            accesses_per_probe=accesses_per_probe,
+        )
+    return _PROFILE_CACHE[key]

@@ -1,0 +1,110 @@
+"""Ground-truth hardware timing of a simulated machine.
+
+This is the "physics" of a machine in our reproduction: how long an
+access served by each cache level takes, and how fast each class of
+floating-point operation issues.  The modeling framework never reads
+these numbers directly — it only sees them through measurements
+(MultiMAPS probes, §III-A) — but the ground-truth execution simulator
+(:mod:`repro.psins.ground_truth`) uses them to produce the "real measured
+runtime" that Table I's % error is computed against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_in_range, check_positive
+
+#: Floating-point operation classes tracked in feature vectors.
+FP_OP_KINDS = ("fp_add", "fp_mul", "fp_fma", "fp_div")
+
+
+@dataclass(frozen=True)
+class HardwareTiming:
+    """Per-level service times and op issue rates of one machine.
+
+    Parameters
+    ----------
+    level_time_ns:
+        Average service time (ns) of a reference hit at each cache
+        level, L1 outward.  Includes pipelining effects, i.e. these are
+        *effective throughput* times for streams, not raw latencies.
+    memory_time_ns:
+        Effective time of a reference served by main memory.
+    fp_time_ns:
+        Issue time per floating-point op, keyed by op class.
+    frequency_ghz:
+        Core frequency; used for loop-overhead accounting in the
+        ground-truth simulator.
+    overlap:
+        Fraction of floating-point time hidden under memory time
+        (paper §III-B: "some overlap of memory and floating-point
+        work").
+    """
+
+    level_time_ns: Tuple[float, ...]
+    memory_time_ns: float
+    fp_time_ns: Dict[str, float] = field(
+        default_factory=lambda: {
+            "fp_add": 0.35,
+            "fp_mul": 0.35,
+            "fp_fma": 0.40,
+            "fp_div": 5.0,
+        }
+    )
+    frequency_ghz: float = 2.4
+    overlap: float = 0.8
+
+    def __post_init__(self):
+        if not self.level_time_ns:
+            raise ValueError("need at least one cache level time")
+        for i, t in enumerate(self.level_time_ns):
+            check_positive(f"level_time_ns[{i}]", t)
+        check_positive("memory_time_ns", self.memory_time_ns)
+        if self.memory_time_ns <= max(self.level_time_ns):
+            raise ValueError("memory must be slower than every cache level")
+        for kind in FP_OP_KINDS:
+            if kind not in self.fp_time_ns:
+                raise ValueError(f"missing fp timing for {kind!r}")
+            check_positive(f"fp_time_ns[{kind}]", self.fp_time_ns[kind])
+        check_positive("frequency_ghz", self.frequency_ghz)
+        check_in_range("overlap", self.overlap, 0.0, 1.0)
+
+    @property
+    def n_levels(self) -> int:
+        return len(self.level_time_ns)
+
+    def service_times_ns(self) -> np.ndarray:
+        """Times of [L1, ..., Lk, memory], shape ``(n_levels + 1,)``."""
+        return np.array([*self.level_time_ns, self.memory_time_ns])
+
+    def stream_time_ns(
+        self, served_counts: Sequence[float], ref_bytes: float = 8.0
+    ) -> float:
+        """Time for a stream given per-destination served reference counts.
+
+        ``served_counts[j]`` is the number of references served at level
+        ``j`` (the last entry being main memory).  This is the hardware
+        truth that MultiMAPS probes sample.
+        """
+        counts = np.asarray(served_counts, dtype=np.float64)
+        if counts.shape[0] != self.n_levels + 1:
+            raise ValueError(
+                f"expected {self.n_levels + 1} served counts, got {counts.shape[0]}"
+            )
+        return float(counts @ self.service_times_ns())
+
+    def achieved_bandwidth_gbs(
+        self, served_counts: Sequence[float], ref_bytes: float = 8.0
+    ) -> float:
+        """Achieved bandwidth (GB/s) of a stream with the given hit split."""
+        counts = np.asarray(served_counts, dtype=np.float64)
+        total_refs = counts.sum()
+        if total_refs == 0:
+            return 0.0
+        time_ns = self.stream_time_ns(counts, ref_bytes)
+        bytes_moved = total_refs * ref_bytes
+        return bytes_moved / time_ns  # bytes/ns == GB/s

@@ -1,0 +1,140 @@
+"""Chunked address-stream generation and interleaving.
+
+A basic block executes several memory instructions per iteration; the
+dynamic address stream interleaves their accesses.  :class:`StreamGenerator`
+yields ``(instruction_index, addresses)`` chunks in program order without
+materializing the full stream, mirroring the paper's on-the-fly
+processing (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.memstream.patterns import AccessPattern
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive
+
+#: Default number of addresses per generated chunk.  Large enough to
+#: amortize numpy call overhead, small enough to stay cache-resident.
+DEFAULT_CHUNK = 1 << 16
+
+
+@dataclass
+class StreamGenerator:
+    """Generates the address stream of one instruction lazily.
+
+    Parameters
+    ----------
+    pattern:
+        The instruction's access pattern.
+    total:
+        Total number of dynamic instances to generate.
+    rng:
+        Stream seeding any stochastic pattern decisions.
+    chunk:
+        Chunk length.
+    """
+
+    pattern: AccessPattern
+    total: int
+    rng: RngStream
+    chunk: int = DEFAULT_CHUNK
+
+    def __post_init__(self):
+        if self.total < 0:
+            raise ValueError(f"total must be >= 0, got {self.total}")
+        check_positive("chunk", self.chunk)
+
+    def __iter__(self) -> Iterator[np.ndarray]:
+        produced = 0
+        while produced < self.total:
+            n = min(self.chunk, self.total - produced)
+            yield self.pattern.addresses(produced, n, self.rng)
+            produced += n
+
+    def all_addresses(self) -> np.ndarray:
+        """Materialize the whole stream (tests / small streams only)."""
+        parts = list(self)
+        if not parts:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(parts)
+
+
+def interleave_streams(
+    patterns: Sequence[AccessPattern],
+    counts: Sequence[int],
+    rng: RngStream,
+    *,
+    chunk: int = DEFAULT_CHUNK,
+) -> Iterator[Tuple[np.ndarray, np.ndarray]]:
+    """Interleave several instructions' streams in round-robin program order.
+
+    Yields ``(instr_idx, addresses)`` chunk pairs where ``instr_idx[i]``
+    identifies the instruction that issued ``addresses[i]``.  Within a
+    chunk, accesses follow the per-iteration issue order: iteration 0 of
+    every instruction, then iteration 1, etc., weighted by each
+    instruction's relative count — the order a simple loop body would
+    produce.  This interleaving matters: cache behavior of instruction A
+    depends on the lines B and C touch in between A's accesses.
+    """
+    if len(patterns) != len(counts):
+        raise ValueError("patterns and counts must have the same length")
+    if not patterns:
+        return
+    counts = [int(c) for c in counts]
+    if any(c < 0 for c in counts):
+        raise ValueError("counts must be non-negative")
+    total = sum(counts)
+    if total == 0:
+        return
+    max_count = max(counts)
+    # per-iteration issue ratio of instruction i
+    ratios = np.array([c / max_count for c in counts])
+    produced = [0] * len(patterns)
+    emitted = 0
+    # iterate in "super-iterations"; in each one, instruction i issues
+    # round(ratio_i * span) accesses.  Build index/addr chunks of ~chunk.
+    span = max(1, chunk // max(1, len(patterns)))
+    iteration = 0
+    while emitted < total:
+        idx_parts: List[np.ndarray] = []
+        addr_parts: List[np.ndarray] = []
+        for i, (pattern, count) in enumerate(zip(patterns, counts)):
+            target = min(count, int(round(ratios[i] * (iteration + 1) * span)))
+            n = target - produced[i]
+            if n <= 0:
+                continue
+            addr = pattern.addresses(produced[i], n, rng.child("instr", i))
+            idx_parts.append(np.full(n, i, dtype=np.int32))
+            addr_parts.append(addr)
+            produced[i] += n
+            emitted += n
+        iteration += 1
+        if not idx_parts:
+            # ratio rounding stalled; flush remaining instructions directly
+            for i, (pattern, count) in enumerate(zip(patterns, counts)):
+                n = count - produced[i]
+                if n <= 0:
+                    continue
+                addr = pattern.addresses(produced[i], n, rng.child("instr", i))
+                idx_parts.append(np.full(n, i, dtype=np.int32))
+                addr_parts.append(addr)
+                produced[i] += n
+                emitted += n
+            if not idx_parts:
+                break
+        # interleave the per-instruction runs element-wise to approximate
+        # issue order within the super-iteration
+        order = np.argsort(
+            np.concatenate(
+                [np.linspace(0, 1, len(p), endpoint=False) for p in idx_parts]
+            ),
+            kind="stable",
+        )
+        instr_idx = np.concatenate(idx_parts)[order]
+        addrs = np.concatenate(addr_parts)[order]
+        yield instr_idx, addrs

@@ -1,0 +1,42 @@
+"""End-to-end experiment pipeline.
+
+Wires the substrates together into the paper's workflows:
+
+- :mod:`repro.pipeline.collect` — run + profile an app at a core count,
+  trace the slowest task (or all / selected ranks) against a target
+  hierarchy, producing an application signature.
+- :mod:`repro.pipeline.predict` — PMaC prediction: signature x machine
+  profile -> replayed runtime; and the ground-truth "actually run it"
+  path.
+- :mod:`repro.pipeline.experiment` — the paper's experiments (Table I
+  protocol: train on small counts, extrapolate, predict, compare with
+  collected-trace prediction and measured runtime).
+- :mod:`repro.pipeline.report` — table rendering of experiment results.
+"""
+
+from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.predict import (
+    PredictionResult,
+    measure_runtime,
+    predict_runtime,
+)
+from repro.pipeline.experiment import (
+    Table1Config,
+    Table1Row,
+    Table1Result,
+    run_table1,
+)
+from repro.pipeline.report import table1_report
+
+__all__ = [
+    "CollectionSettings",
+    "collect_signature",
+    "PredictionResult",
+    "predict_runtime",
+    "measure_runtime",
+    "Table1Config",
+    "Table1Row",
+    "Table1Result",
+    "run_table1",
+    "table1_report",
+]

@@ -1,0 +1,94 @@
+"""Signature collection workflow.
+
+One call = one application run at one core count on the (simulated) base
+system with PEBIL probes attached: profile all tasks cheaply, pick the
+ranks to trace, and run each traced rank's address stream through the
+target system's cache simulator (Fig. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.apps.base import AppModel
+from repro.cache.hierarchy import CacheHierarchy
+from repro.instrument.collector import CollectorConfig, collect_trace
+from repro.simmpi.profiler import profile_job
+from repro.simmpi.runtime import Job
+from repro.trace.signature import ApplicationSignature
+from repro.util.rng import stream
+
+
+@dataclass(frozen=True)
+class CollectionSettings:
+    """What and how to trace.
+
+    ``ranks`` selects which tasks get full traces: the string
+    ``"slowest"`` (the paper's choice), ``"all"`` (needed by the
+    clustering extension), or an explicit list of rank ids.
+    """
+
+    ranks: Union[str, Sequence[int]] = "slowest"
+    collector: CollectorConfig = field(default_factory=CollectorConfig)
+
+
+def collect_signature(
+    app: AppModel,
+    n_ranks: int,
+    hierarchy: CacheHierarchy,
+    settings: Optional[CollectionSettings] = None,
+    *,
+    job: Optional[Job] = None,
+) -> ApplicationSignature:
+    """Collect an application signature at one core count.
+
+    Parameters
+    ----------
+    app:
+        The application proxy.
+    n_ranks:
+        Core count of the run.
+    hierarchy:
+        *Target-system* hierarchy the hit rates are simulated against.
+    settings:
+        Rank selection and collector knobs.
+    job:
+        Pre-built job (to avoid rebuilding when the caller also replays).
+    """
+    settings = settings or CollectionSettings()
+    if job is None:
+        job = app.build_job(n_ranks)
+    elif job.n_ranks != n_ranks:
+        raise ValueError(
+            f"supplied job has {job.n_ranks} ranks, expected {n_ranks}"
+        )
+    profile = profile_job(job, app.program_factory(n_ranks))
+    if settings.ranks == "slowest":
+        trace_ranks: List[int] = [profile.slowest_rank()]
+    elif settings.ranks == "all":
+        trace_ranks = list(range(n_ranks))
+    else:
+        trace_ranks = sorted(set(int(r) for r in settings.ranks))
+        bad = [r for r in trace_ranks if not 0 <= r < n_ranks]
+        if bad:
+            raise ValueError(f"trace ranks out of range: {bad}")
+    signature = ApplicationSignature(
+        app=app.name,
+        n_ranks=n_ranks,
+        target=hierarchy.name,
+        compute_times=dict(profile.compute_times_s),
+    )
+    for rank in trace_ranks:
+        program = app.rank_program(rank, n_ranks)
+        trace = collect_trace(
+            program,
+            hierarchy,
+            app=app.name,
+            rank=rank,
+            n_ranks=n_ranks,
+            config=settings.collector,
+            rng=stream("collect", app.name, n_ranks, rank, hierarchy.name),
+        )
+        signature.add_trace(trace)
+    return signature

@@ -1,0 +1,143 @@
+"""The paper's experiment protocols.
+
+``run_table1`` implements the full Table I procedure for one application:
+
+1. collect slowest-task traces at the training core counts (96/384/1536
+   for SPECFEM3D; 1024/2048/4096 for UH3D),
+2. extrapolate to the target count (6144 / 8192),
+3. *also* collect a real trace at the target count,
+4. predict the runtime with both traces,
+5. measure the "real" runtime via the ground-truth simulator,
+6. report predicted runtimes and % errors for both trace types.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.apps.base import AppModel
+from repro.core.canonical import CanonicalForm, PAPER_FORMS
+from repro.core.errors import abs_rel_error
+from repro.core.extrapolate import ExtrapolationResult, extrapolate_trace
+from repro.machine.systems import get_machine, get_spec
+from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.predict import measure_runtime, predict_runtime
+from repro.psins.ground_truth import GroundTruthConfig
+from repro.trace.tracefile import TraceFile
+
+
+@dataclass(frozen=True)
+class Table1Config:
+    """Experiment knobs for :func:`run_table1`."""
+
+    machine: str = "blue_waters_p1"
+    forms: Sequence[CanonicalForm] = PAPER_FORMS
+    collection: CollectionSettings = field(default_factory=CollectionSettings)
+    ground_truth: GroundTruthConfig = field(default_factory=GroundTruthConfig)
+    #: probe budget for the machine profile (MultiMAPS)
+    accesses_per_probe: int = 100_000
+
+
+@dataclass
+class Table1Row:
+    """One row of Table I."""
+
+    app: str
+    core_count: int
+    trace_type: str  # "Extrap." or "Coll."
+    predicted_runtime_s: float
+    measured_runtime_s: float
+
+    @property
+    def pct_error(self) -> float:
+        return 100.0 * abs_rel_error(self.measured_runtime_s, self.predicted_runtime_s)
+
+
+@dataclass
+class Table1Result:
+    """Rows plus every intermediate artifact (for deeper analysis)."""
+
+    rows: List[Table1Row]
+    training_traces: List[TraceFile]
+    extrapolation: ExtrapolationResult
+    collected_trace: TraceFile
+    measured_runtime_s: float
+
+    def extrap_vs_collected_gap(self) -> float:
+        """Relative gap between the two predictions (paper: negligible)."""
+        extrap = next(r for r in self.rows if r.trace_type == "Extrap.")
+        coll = next(r for r in self.rows if r.trace_type == "Coll.")
+        return abs_rel_error(coll.predicted_runtime_s, extrap.predicted_runtime_s)
+
+
+def run_table1(
+    app: AppModel,
+    train_counts: Sequence[int],
+    target_count: int,
+    config: Optional[Table1Config] = None,
+) -> Table1Result:
+    """Run the Table I protocol for one application."""
+    config = config or Table1Config()
+    machine = get_machine(
+        config.machine, accesses_per_probe=config.accesses_per_probe
+    )
+    spec = get_spec(config.machine)
+
+    # 1. training traces (slowest task at each small core count)
+    training: List[TraceFile] = []
+    for count in sorted(train_counts):
+        sig = collect_signature(
+            app, count, machine.hierarchy, config.collection
+        )
+        training.append(sig.slowest_trace())
+
+    # 2. extrapolate to the target core count
+    extrapolation = extrapolate_trace(
+        training, target_count, forms=config.forms
+    )
+
+    # 3. collected trace at the target core count (the expensive one the
+    #    methodology is designed to avoid — gathered here to evaluate it)
+    target_job = app.build_job(target_count)
+    target_sig = collect_signature(
+        app, target_count, machine.hierarchy, config.collection, job=target_job
+    )
+    collected = target_sig.slowest_trace()
+
+    # 4. predictions with both trace types (sharing the replayed job)
+    pred_extrap = predict_runtime(
+        app, target_count, extrapolation.trace, machine, job=target_job
+    )
+    pred_coll = predict_runtime(
+        app, target_count, collected, machine, job=target_job
+    )
+
+    # 5. ground truth
+    measured = measure_runtime(
+        app, target_count, spec, config=config.ground_truth, job=target_job
+    )
+
+    rows = [
+        Table1Row(
+            app=app.name,
+            core_count=target_count,
+            trace_type="Extrap.",
+            predicted_runtime_s=pred_extrap.runtime_s,
+            measured_runtime_s=measured.runtime_s,
+        ),
+        Table1Row(
+            app=app.name,
+            core_count=target_count,
+            trace_type="Coll.",
+            predicted_runtime_s=pred_coll.runtime_s,
+            measured_runtime_s=measured.runtime_s,
+        ),
+    ]
+    return Table1Result(
+        rows=rows,
+        training_traces=training,
+        extrapolation=extrapolation,
+        collected_trace=collected,
+        measured_runtime_s=measured.runtime_s,
+    )

@@ -1,0 +1,87 @@
+"""Prediction and ground-truth measurement workflows.
+
+``predict_runtime`` is the PMaC path: convolve a (collected or
+extrapolated) trace with the machine profile, then replay the job's event
+timeline.  ``measure_runtime`` is the stand-in for actually running the
+application on the target machine (see
+:mod:`repro.psins.ground_truth`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.apps.base import AppModel
+from repro.machine.profile import MachineProfile
+from repro.machine.systems import MachineSpec, get_spec
+from repro.psins.convolution import ComputationModel, ConvolutionConfig
+from repro.psins.ground_truth import GroundTruthConfig, measure_job
+from repro.psins.replay import ReplayResult, UniformTimer, replay_job
+from repro.simmpi.runtime import Job
+from repro.trace.tracefile import TraceFile
+
+
+@dataclass
+class PredictionResult:
+    """A prediction plus the intermediate models (for inspection)."""
+
+    replay: ReplayResult
+    model: ComputationModel
+    trace: TraceFile
+
+    @property
+    def runtime_s(self) -> float:
+        return self.replay.runtime_s
+
+
+def predict_runtime(
+    app: AppModel,
+    n_ranks: int,
+    trace: TraceFile,
+    machine: MachineProfile,
+    *,
+    config: Optional[ConvolutionConfig] = None,
+    job: Optional[Job] = None,
+) -> PredictionResult:
+    """Predict the app's runtime at ``n_ranks`` on ``machine``.
+
+    The trace (collected or extrapolated, always of the slowest task)
+    calibrates per-iteration basic-block costs; every rank's compute
+    events are priced with those costs (the paper's slowest-task-as-base
+    strategy), and the full event timeline is replayed.
+    """
+    if trace.n_ranks != n_ranks:
+        raise ValueError(
+            f"trace is for {trace.n_ranks} ranks, predicting {n_ranks}"
+        )
+    if job is None:
+        job = app.build_job(n_ranks)
+    model = ComputationModel(trace, machine, config)
+    timer = UniformTimer(model.iteration_time_s)
+    replay = replay_job(job, timer, machine.network)
+    return PredictionResult(replay=replay, model=model, trace=trace)
+
+
+def measure_runtime(
+    app: AppModel,
+    n_ranks: int,
+    machine: MachineSpec,
+    *,
+    config: Optional[GroundTruthConfig] = None,
+    job: Optional[Job] = None,
+) -> ReplayResult:
+    """"Run" the app on the target machine; return the measured timeline."""
+    if isinstance(machine, str):
+        machine = get_spec(machine)
+    if job is None:
+        job = app.build_job(n_ranks)
+    return measure_job(
+        job,
+        app.program_factory(n_ranks),
+        app.equivalence_classes(n_ranks),
+        machine.hierarchy,
+        machine.timing,
+        machine.network,
+        config,
+    )

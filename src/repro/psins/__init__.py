@@ -1,0 +1,34 @@
+"""PSiNS-style replay simulation and the PMaC convolution.
+
+The convolution (:mod:`repro.psins.convolution`) maps an application
+signature onto a machine profile — Eq. 1 of the paper — yielding
+per-basic-block computation times.  The replay engine
+(:mod:`repro.psins.replay`) then replays the entire execution's event
+trace with those times plus the communication model, producing the
+predicted runtime.
+
+:mod:`repro.psins.ground_truth` is *not* part of the prediction
+framework: it is the stand-in for "actually running the application on
+the target machine", using the machine's hardware truth plus
+second-order effects the convolution deliberately ignores.  Table I's %
+errors compare predictions against its output.
+"""
+
+from repro.psins.convolution import (
+    BlockTimeBreakdown,
+    ComputationModel,
+    ConvolutionConfig,
+)
+from repro.psins.replay import ReplayResult, replay_job
+from repro.psins.ground_truth import GroundTruthConfig, GroundTruthTimer, measure_job
+
+__all__ = [
+    "ConvolutionConfig",
+    "BlockTimeBreakdown",
+    "ComputationModel",
+    "ReplayResult",
+    "replay_job",
+    "GroundTruthConfig",
+    "GroundTruthTimer",
+    "measure_job",
+]

@@ -1,0 +1,154 @@
+"""The PMaC convolution: application signature x machine profile -> time.
+
+Implements Eq. 1 of the paper:
+
+    memory_time = sum over basic blocks i, reference types j of
+                  (memory_ref[i, j] * size_of_ref) / memory_BW[j]
+
+where a reference's *type* j is its position on the MultiMAPS surface —
+its cache hit rates — so ``memory_BW[j]`` is the surface evaluated at the
+instruction's hit-rate vector.  Floating-point time is modeled similarly
+from per-class op counts and issue rates, with partial overlap between
+memory and floating-point work (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.machine.profile import MachineProfile
+from repro.machine.timing import FP_OP_KINDS
+from repro.trace.records import BasicBlockRecord
+from repro.trace.tracefile import TraceFile
+from repro.util.validation import check_in_range
+
+
+@dataclass(frozen=True)
+class ConvolutionConfig:
+    """Model constants of the convolution.
+
+    Parameters
+    ----------
+    overlap:
+        Fraction of the smaller of (memory time, fp time) hidden under
+        the larger:  ``time = max(m, f) + (1 - overlap) * min(m, f)``.
+    max_issue_width:
+        Cap on exploitable ILP when scaling fp issue time.
+    """
+
+    overlap: float = 0.8
+    max_issue_width: float = 4.0
+
+    def __post_init__(self):
+        check_in_range("overlap", self.overlap, 0.0, 1.0)
+        check_in_range("max_issue_width", self.max_issue_width, low=1.0)
+
+
+@dataclass
+class BlockTimeBreakdown:
+    """Predicted time of one basic block's full execution."""
+
+    block_id: int
+    memory_time_s: float
+    fp_time_s: float
+    total_time_s: float
+    exec_count: float
+
+    @property
+    def per_iteration_s(self) -> float:
+        if self.exec_count <= 0:
+            return 0.0
+        return self.total_time_s / self.exec_count
+
+
+def combine_with_overlap(memory_s: float, fp_s: float, overlap: float) -> float:
+    """Combine memory and fp time with partial overlap."""
+    hi, lo = (memory_s, fp_s) if memory_s >= fp_s else (fp_s, memory_s)
+    return hi + (1.0 - overlap) * lo
+
+
+class ComputationModel:
+    """Per-block computation times for one (trace, machine) pair.
+
+    This is the computation half of the PMaC prediction: the replay
+    engine queries :meth:`iteration_time_s` for every compute event.
+    """
+
+    def __init__(
+        self,
+        trace: TraceFile,
+        machine: MachineProfile,
+        config: Optional[ConvolutionConfig] = None,
+    ):
+        if trace.target != machine.hierarchy.name:
+            raise ValueError(
+                f"trace was collected against {trace.target!r} but machine "
+                f"is {machine.hierarchy.name!r}"
+            )
+        self.trace = trace
+        self.machine = machine
+        self.config = config or ConvolutionConfig()
+        self._breakdowns: Dict[int, BlockTimeBreakdown] = {}
+        self._compute_all()
+
+    def _block_breakdown(self, block: BasicBlockRecord) -> BlockTimeBreakdown:
+        schema = self.trace.schema
+        memory_ns = 0.0
+        fp_ns = 0.0
+        exec_count = 0.0
+        for ins in block.instructions:
+            vec = ins.features
+            exec_count = max(exec_count, float(vec[schema.index("exec_count")]))
+            mem_ops = float(vec[schema.index("mem_ops")])
+            if mem_ops > 0:
+                ref_bytes = float(vec[schema.index("ref_bytes")])
+                rates = schema.hit_rates(vec)
+                bw_gbs = float(self.machine.memory_bandwidth_gbs(rates))
+                # bytes / (bytes/ns) == ns
+                memory_ns += mem_ops * ref_bytes / max(bw_gbs, 1e-9)
+            ilp = float(vec[schema.index("ilp")])
+            width = min(max(ilp, 1.0), self.config.max_issue_width)
+            for kind in FP_OP_KINDS:
+                count = float(vec[schema.index(kind)])
+                if count > 0:
+                    rate_gflops = self.machine.fp_rates_gflops[kind]
+                    fp_ns += count / max(rate_gflops, 1e-9) / width
+        total_ns = combine_with_overlap(memory_ns, fp_ns, self.config.overlap)
+        return BlockTimeBreakdown(
+            block_id=block.block_id,
+            memory_time_s=memory_ns * 1e-9,
+            fp_time_s=fp_ns * 1e-9,
+            total_time_s=total_ns * 1e-9,
+            exec_count=exec_count,
+        )
+
+    def _compute_all(self) -> None:
+        for block in self.trace.blocks.values():
+            self._breakdowns[block.block_id] = self._block_breakdown(block)
+
+    def breakdown(self, block_id: int) -> BlockTimeBreakdown:
+        try:
+            return self._breakdowns[block_id]
+        except KeyError:
+            raise KeyError(
+                f"trace for {self.trace.app!r} has no block {block_id}"
+            ) from None
+
+    def iteration_time_s(self, block_id: int) -> float:
+        """Predicted time of one iteration of a block."""
+        return self.breakdown(block_id).per_iteration_s
+
+    def total_compute_time_s(self) -> float:
+        """Predicted computation time of the traced task's full execution."""
+        return sum(b.total_time_s for b in self._breakdowns.values())
+
+    def memory_fraction(self) -> float:
+        """Fraction of computation time spent in memory (sanity metric)."""
+        total = self.total_compute_time_s()
+        if total <= 0:
+            return 0.0
+        mem = sum(b.memory_time_s for b in self._breakdowns.values())
+        return mem / total

@@ -1,0 +1,221 @@
+"""Event-trace replay: "replays the entire execution of the HPC
+application on the target/predicted system" (§III).
+
+A cooperative discrete-event scheduler advances per-rank virtual clocks
+through each rank's event script:
+
+- **compute** events take time from a :class:`ComputationTimer`;
+- **sends** are buffered: the sender pays only a posting overhead and the
+  message becomes available at that moment;
+- **recvs** block until the matching ``(src, dest, tag)`` message is
+  available, then pay the network transfer time;
+- **collectives** synchronize all ranks; completion is the latest arrival
+  plus the collective's cost model.
+
+The scheduler is work-queue driven (a rank is revisited only when
+something it waits for happens), so replay is O(events) not
+O(events x ranks).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.machine.network import NetworkParameters
+from repro.simmpi.events import CollectiveEvent, ComputeEvent, RecvEvent, SendEvent
+from repro.simmpi.runtime import Job
+
+
+class ComputationTimer:
+    """Maps (rank, block, iterations) to seconds.  Subclass or wrap."""
+
+    def time_s(self, rank: int, block_id: int, iterations: int) -> float:
+        raise NotImplementedError
+
+
+class UniformTimer(ComputationTimer):
+    """Every rank uses the same per-iteration block costs.
+
+    This is the slowest-task-as-base strategy the paper uses (§VI): the
+    traced (or extrapolated) task's per-iteration costs apply to every
+    rank; per-rank workload differences enter via each rank's own
+    iteration counts in its event script.
+    """
+
+    def __init__(self, iteration_time_s: Callable[[int], float]):
+        self._iteration_time_s = iteration_time_s
+
+    def time_s(self, rank: int, block_id: int, iterations: int) -> float:
+        return self._iteration_time_s(block_id) * iterations
+
+
+class PerRankTimer(ComputationTimer):
+    """Per-rank (or per-equivalence-class) block costs."""
+
+    def __init__(self, timers: Dict[int, Callable[[int], float]]):
+        self._timers = timers
+
+    def time_s(self, rank: int, block_id: int, iterations: int) -> float:
+        try:
+            fn = self._timers[rank]
+        except KeyError:
+            raise KeyError(f"no computation timer for rank {rank}") from None
+        return fn(block_id) * iterations
+
+
+class ReplayDeadlockError(RuntimeError):
+    """Raised when no rank can make progress before completion."""
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one replay."""
+
+    app: str
+    n_ranks: int
+    runtime_s: float
+    compute_time_s: np.ndarray
+    comm_time_s: np.ndarray
+    n_events: int
+
+    @property
+    def max_compute_s(self) -> float:
+        return float(self.compute_time_s.max()) if self.compute_time_s.size else 0.0
+
+    def comm_fraction(self) -> float:
+        """Communication share of the critical path's rank."""
+        critical = int(np.argmax(self.compute_time_s + self.comm_time_s))
+        total = self.compute_time_s[critical] + self.comm_time_s[critical]
+        return float(self.comm_time_s[critical] / total) if total > 0 else 0.0
+
+
+_COLLECTIVE_COST = {
+    "barrier": lambda net, p, b: net.barrier_time_s(p),
+    "allreduce": lambda net, p, b: net.allreduce_time_s(p, b),
+    "reduce": lambda net, p, b: net.reduce_time_s(p, b),
+    "broadcast": lambda net, p, b: net.broadcast_time_s(p, b),
+    "alltoall": lambda net, p, b: net.alltoall_time_s(p, b),
+    "allgather": lambda net, p, b: net.allgather_time_s(p, b),
+}
+
+
+def replay_job(
+    job: Job,
+    timer: ComputationTimer,
+    network: NetworkParameters,
+) -> ReplayResult:
+    """Replay a job's event traces; return the predicted runtime."""
+    n = job.n_ranks
+    scripts = [s.events for s in job.scripts]
+    pc = [0] * n
+    clock = np.zeros(n)
+    compute_time = np.zeros(n)
+    comm_time = np.zeros(n)
+    # (src, dest, tag) -> deque of (available_time, nbytes)
+    mailbox: Dict[Tuple[int, int, int], Deque[Tuple[float, int]]] = defaultdict(deque)
+    # ranks blocked on a recv key
+    recv_waiters: Dict[Tuple[int, int, int], Deque[int]] = defaultdict(deque)
+    # collective synchronization: per-index arrivals
+    coll_index = [0] * n
+    coll_arrivals: Dict[int, Dict[int, float]] = defaultdict(dict)
+    coll_spec: Dict[int, Tuple[str, int]] = {}
+
+    runnable: Deque[int] = deque(range(n))
+    queued = [True] * n
+    done_count = 0
+    n_events = sum(len(s) for s in scripts)
+    send_overhead = network.send_overhead_us * 1e-6
+
+    def wake(rank: int) -> None:
+        if not queued[rank]:
+            queued[rank] = True
+            runnable.append(rank)
+
+    while runnable:
+        r = runnable.popleft()
+        queued[r] = False
+        script = scripts[r]
+        while pc[r] < len(script):
+            ev = script[pc[r]]
+            if isinstance(ev, ComputeEvent):
+                dt = timer.time_s(r, ev.block_id, ev.iterations)
+                clock[r] += dt
+                compute_time[r] += dt
+                pc[r] += 1
+            elif isinstance(ev, SendEvent):
+                key = (r, ev.dest, ev.tag)
+                clock[r] += send_overhead
+                comm_time[r] += send_overhead
+                mailbox[key].append((clock[r], ev.nbytes))
+                pc[r] += 1
+                if recv_waiters[key]:
+                    wake(recv_waiters[key].popleft())
+            elif isinstance(ev, RecvEvent):
+                key = (ev.src, r, ev.tag)
+                box = mailbox[key]
+                if not box:
+                    recv_waiters[key].append(r)
+                    break
+                avail, nbytes = box.popleft()
+                if nbytes != ev.nbytes:
+                    raise ValueError(
+                        f"message size mismatch on {key}: sent {nbytes}, "
+                        f"receiving {ev.nbytes}"
+                    )
+                start = clock[r]
+                finish = max(start, avail) + network.p2p_time_s(nbytes)
+                comm_time[r] += finish - start
+                clock[r] = finish
+                pc[r] += 1
+            elif isinstance(ev, CollectiveEvent):
+                idx = coll_index[r]
+                spec = (ev.op, ev.nbytes)
+                if idx in coll_spec and coll_spec[idx] != spec:
+                    raise ValueError(
+                        f"collective #{idx} mismatch: rank {r} issues {spec}, "
+                        f"others issued {coll_spec[idx]}"
+                    )
+                coll_spec[idx] = spec
+                arrivals = coll_arrivals[idx]
+                arrivals[r] = clock[r]
+                coll_index[r] += 1
+                if len(arrivals) < n:
+                    break  # blocked until the last rank arrives
+                cost = _COLLECTIVE_COST[ev.op](network, n, ev.nbytes)
+                finish = max(arrivals.values()) + cost
+                for rank, arrived in arrivals.items():
+                    comm_time[rank] += finish - arrived
+                    clock[rank] = finish
+                    pc[rank] += 1
+                    if rank != r:
+                        wake(rank)
+                del coll_arrivals[idx]
+            else:  # pragma: no cover - defensive
+                raise TypeError(f"unknown event type {type(ev)!r}")
+        else:
+            done_count += 1
+
+    if done_count < n:
+        stuck = [r for r in range(n) if pc[r] < len(scripts[r])]
+        detail = ", ".join(
+            f"rank {r} at event {pc[r]}/{len(scripts[r])} "
+            f"({type(scripts[r][pc[r]]).__name__})"
+            for r in stuck[:5]
+        )
+        raise ReplayDeadlockError(
+            f"replay of {job.app} deadlocked with {len(stuck)} rank(s) blocked: "
+            f"{detail}"
+        )
+
+    return ReplayResult(
+        app=job.app,
+        n_ranks=n,
+        runtime_s=float(clock.max()) if n else 0.0,
+        compute_time_s=compute_time,
+        comm_time_s=comm_time,
+        n_events=n_events,
+    )

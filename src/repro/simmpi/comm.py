@@ -1,0 +1,98 @@
+"""The communicator object rank scripts program against.
+
+API shape follows mpi4py's lowercase conventions (``send``/``recv``/
+``allreduce``/...) so that app proxies read like the MPI codes they stand
+in for, with one addition: :meth:`SimComm.compute` marks a computation
+phase (``iterations`` of a named basic block) — the "work done on the
+processor in between communication events" the PMaC computation model
+covers (§III).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simmpi.events import (
+    CollectiveEvent,
+    ComputeEvent,
+    Event,
+    RecvEvent,
+    SendEvent,
+)
+
+
+class SimComm:
+    """Event-recording communicator for one rank.
+
+    Parameters
+    ----------
+    rank, size:
+        This process's rank and the communicator size.
+    """
+
+    def __init__(self, rank: int, size: int):
+        if size <= 0:
+            raise ValueError(f"communicator size must be positive, got {size}")
+        if not 0 <= rank < size:
+            raise ValueError(f"rank {rank} out of range for size {size}")
+        self.rank = rank
+        self.size = size
+        self.events: List[Event] = []
+
+    # -- introspection (mpi4py-style) -----------------------------------
+
+    def get_rank(self) -> int:
+        return self.rank
+
+    def get_size(self) -> int:
+        return self.size
+
+    # -- computation phases ---------------------------------------------
+
+    def compute(self, block_id: int, iterations: int) -> None:
+        """Record ``iterations`` executions of basic block ``block_id``."""
+        if iterations > 0:
+            self.events.append(ComputeEvent(block_id=block_id, iterations=iterations))
+
+    # -- point-to-point ---------------------------------------------------
+
+    def send(self, dest: int, nbytes: int, tag: int = 0) -> None:
+        if not 0 <= dest < self.size:
+            raise ValueError(f"send dest {dest} out of range (size {self.size})")
+        if dest == self.rank:
+            raise ValueError("self-sends are not modeled")
+        self.events.append(SendEvent(dest=dest, nbytes=nbytes, tag=tag))
+
+    def recv(self, src: int, nbytes: int, tag: int = 0) -> None:
+        if not 0 <= src < self.size:
+            raise ValueError(f"recv src {src} out of range (size {self.size})")
+        if src == self.rank:
+            raise ValueError("self-receives are not modeled")
+        self.events.append(RecvEvent(src=src, nbytes=nbytes, tag=tag))
+
+    def sendrecv(
+        self, dest: int, send_bytes: int, src: int, recv_bytes: int, tag: int = 0
+    ) -> None:
+        """Combined exchange, posted send-first (deadlock-free pairwise)."""
+        self.send(dest, send_bytes, tag=tag)
+        self.recv(src, recv_bytes, tag=tag)
+
+    # -- collectives ------------------------------------------------------
+
+    def barrier(self) -> None:
+        self.events.append(CollectiveEvent(op="barrier"))
+
+    def allreduce(self, nbytes: int) -> None:
+        self.events.append(CollectiveEvent(op="allreduce", nbytes=nbytes))
+
+    def reduce(self, nbytes: int) -> None:
+        self.events.append(CollectiveEvent(op="reduce", nbytes=nbytes))
+
+    def broadcast(self, nbytes: int) -> None:
+        self.events.append(CollectiveEvent(op="broadcast", nbytes=nbytes))
+
+    def alltoall(self, nbytes_per_rank: int) -> None:
+        self.events.append(CollectiveEvent(op="alltoall", nbytes=nbytes_per_rank))
+
+    def allgather(self, nbytes_per_rank: int) -> None:
+        self.events.append(CollectiveEvent(op="allgather", nbytes=nbytes_per_rank))

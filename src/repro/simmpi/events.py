@@ -1,0 +1,92 @@
+"""Event types recorded by SimMPI rank scripts.
+
+Events are the vocabulary shared by the runtime (which records them), the
+profiler (which weighs compute events) and the PSiNS replay engine (which
+assigns them times).  All events are immutable value objects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Union
+
+from repro.util.validation import check_in_range
+
+#: Collective operations the replay network model knows how to cost.
+COLLECTIVE_OPS = (
+    "barrier",
+    "allreduce",
+    "reduce",
+    "broadcast",
+    "alltoall",
+    "allgather",
+)
+
+
+@dataclass(frozen=True)
+class ComputeEvent:
+    """A computation phase: ``iterations`` executions of one basic block.
+
+    The block id refers to the rank's :class:`~repro.instrument.program.
+    Program`; the replay engine converts iterations to seconds using a
+    per-iteration block cost calibrated from a trace file.
+    """
+
+    block_id: int
+    iterations: int
+
+    def __post_init__(self):
+        check_in_range("iterations", self.iterations, low=0)
+
+
+@dataclass(frozen=True)
+class SendEvent:
+    """Post a point-to-point message (buffered, non-blocking completion)."""
+
+    dest: int
+    nbytes: int
+    tag: int = 0
+
+    def __post_init__(self):
+        check_in_range("dest", self.dest, low=0)
+        check_in_range("nbytes", self.nbytes, low=0)
+
+
+@dataclass(frozen=True)
+class RecvEvent:
+    """Blocking receive of a matching message."""
+
+    src: int
+    nbytes: int
+    tag: int = 0
+
+    def __post_init__(self):
+        check_in_range("src", self.src, low=0)
+        check_in_range("nbytes", self.nbytes, low=0)
+
+
+@dataclass(frozen=True)
+class CollectiveEvent:
+    """A collective over the whole communicator.
+
+    ``nbytes`` is the per-rank payload (the cost model knows each
+    collective's communication pattern).
+    """
+
+    op: str
+    nbytes: int = 0
+
+    def __post_init__(self):
+        if self.op not in COLLECTIVE_OPS:
+            raise ValueError(
+                f"unknown collective {self.op!r}; known: {', '.join(COLLECTIVE_OPS)}"
+            )
+        check_in_range("nbytes", self.nbytes, low=0)
+
+
+def BarrierEvent() -> CollectiveEvent:
+    """Convenience constructor for a barrier."""
+    return CollectiveEvent(op="barrier", nbytes=0)
+
+
+Event = Union[ComputeEvent, SendEvent, RecvEvent, CollectiveEvent]

@@ -1,0 +1,26 @@
+"""Application-signature data model.
+
+An *application signature* (paper §III-A) is a set of per-MPI-task trace
+files; each trace file holds, for every basic block the task executed,
+per-instruction *feature vectors*: floating-point work and its
+composition, memory-op counts and sizes, simulated cache hit rates on the
+target system, and working-set size.  These are the objects the trace
+extrapolation (:mod:`repro.core`) fits and synthesizes.
+"""
+
+from repro.trace.features import FeatureSchema
+from repro.trace.records import BasicBlockRecord, InstructionRecord, SourceLocation
+from repro.trace.tracefile import TraceFile
+from repro.trace.signature import ApplicationSignature
+from repro.trace.diff import TraceDiff, compare_traces
+
+__all__ = [
+    "FeatureSchema",
+    "InstructionRecord",
+    "BasicBlockRecord",
+    "SourceLocation",
+    "TraceFile",
+    "ApplicationSignature",
+    "TraceDiff",
+    "compare_traces",
+]

@@ -1,0 +1,113 @@
+"""Application signatures: the set of per-rank trace files for one run.
+
+The paper's framework keeps one trace file per MPI task; this work
+focuses on the most computationally demanding task (§IV) but the data
+model supports full per-rank signatures (used by the clustering extension
+of §VI).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Union
+
+from repro.trace.tracefile import TraceFile
+
+
+@dataclass
+class ApplicationSignature:
+    """All trace data for one application run at one core count.
+
+    Not every rank need be materialized: the slowest-task workflow
+    stores one trace; the clustering workflow stores one per cluster
+    centroid.  ``compute_times`` (seconds of computation per rank, from
+    the lightweight profiling run) identify the slowest task.
+    """
+
+    app: str
+    n_ranks: int
+    target: str
+    traces: Dict[int, TraceFile] = field(default_factory=dict)
+    compute_times: Dict[int, float] = field(default_factory=dict)
+
+    def add_trace(self, trace: TraceFile) -> None:
+        if trace.app != self.app:
+            raise ValueError(f"trace app {trace.app!r} != signature app {self.app!r}")
+        if trace.n_ranks != self.n_ranks:
+            raise ValueError(
+                f"trace core count {trace.n_ranks} != signature {self.n_ranks}"
+            )
+        if trace.target != self.target:
+            raise ValueError(
+                f"trace target {trace.target!r} != signature {self.target!r}"
+            )
+        if trace.rank in self.traces:
+            raise ValueError(f"duplicate trace for rank {trace.rank}")
+        self.traces[trace.rank] = trace
+
+    @property
+    def ranks(self) -> List[int]:
+        return sorted(self.traces)
+
+    def slowest_rank(self) -> int:
+        """Rank with the largest profiled computation time.
+
+        Falls back to the rank with the most memory operations when no
+        profile data is attached.
+        """
+        if self.compute_times:
+            return max(self.compute_times, key=lambda r: (self.compute_times[r], -r))
+        if not self.traces:
+            raise ValueError("signature has no traces and no profile data")
+        return max(
+            self.traces,
+            key=lambda r: (self.traces[r].total_memory_ops(), -r),
+        )
+
+    def slowest_trace(self) -> TraceFile:
+        rank = self.slowest_rank()
+        if rank not in self.traces:
+            raise KeyError(
+                f"slowest rank {rank} identified by profiling has no trace; "
+                f"materialized ranks: {self.ranks}"
+            )
+        return self.traces[rank]
+
+    # ------------------------------------------------------------------
+    # directory persistence
+
+    def save_dir(self, directory: Union[str, Path]) -> None:
+        """Write one ``rank<k>.npz`` per trace plus a profile sidecar."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        for rank, trace in self.traces.items():
+            trace.save_npz(directory / f"rank{rank:06d}.npz")
+        import json
+
+        sidecar = {
+            "app": self.app,
+            "n_ranks": self.n_ranks,
+            "target": self.target,
+            "compute_times": {str(k): v for k, v in self.compute_times.items()},
+        }
+        (directory / "signature.json").write_text(json.dumps(sidecar, indent=2))
+
+    @classmethod
+    def load_dir(cls, directory: Union[str, Path]) -> "ApplicationSignature":
+        """Load a signature previously written by :meth:`save_dir`."""
+        import json
+
+        directory = Path(directory)
+        sidecar = json.loads((directory / "signature.json").read_text())
+        sig = cls(
+            app=sidecar["app"],
+            n_ranks=int(sidecar["n_ranks"]),
+            target=sidecar["target"],
+            compute_times={
+                int(k): float(v) for k, v in sidecar["compute_times"].items()
+            },
+        )
+        for path in sorted(directory.glob("rank*.npz")):
+            sig.add_trace(TraceFile.load_npz(path))
+        return sig

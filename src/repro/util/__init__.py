@@ -1,0 +1,41 @@
+"""Shared utilities: deterministic RNG streams, units, validation, tables.
+
+Everything stochastic in the library flows through :mod:`repro.util.rng`
+so that experiments are reproducible bit-for-bit.  The remaining modules
+are small leaf helpers used across the package.
+"""
+
+from repro.util.rng import RngStream, derive_seed, stream
+from repro.util.units import (
+    KB,
+    MB,
+    GB,
+    bytes_to_human,
+    human_to_bytes,
+)
+from repro.util.validation import (
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+    ValidationError,
+)
+from repro.util.tables import Table, format_table
+
+__all__ = [
+    "RngStream",
+    "derive_seed",
+    "stream",
+    "KB",
+    "MB",
+    "GB",
+    "bytes_to_human",
+    "human_to_bytes",
+    "check_finite",
+    "check_in_range",
+    "check_positive",
+    "check_power_of_two",
+    "ValidationError",
+    "Table",
+    "format_table",
+]

@@ -1,0 +1,83 @@
+"""Plain-text table rendering for experiment reports.
+
+The benchmark harness regenerates the paper's tables as text; this module
+renders them in a fixed-width format with per-column alignment so the
+output can be diffed between runs and eyeballed against the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _format_cell(value: Cell, float_fmt: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A simple column-oriented table.
+
+    Parameters
+    ----------
+    columns:
+        Column headers, in display order.
+    title:
+        Optional title rendered above the table.
+    float_fmt:
+        ``format()`` spec applied to float cells (default 3 significant
+        decimals, matching the precision the paper reports).
+    """
+
+    columns: Sequence[str]
+    title: Optional[str] = None
+    float_fmt: str = ".3f"
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, *cells: Cell) -> None:
+        """Append a row; cell count must match the header."""
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"expected {len(self.columns)} cells, got {len(cells)}"
+            )
+        self.rows.append([_format_cell(c, self.float_fmt) for c in cells])
+
+    def render(self) -> str:
+        """Render the table to a fixed-width string."""
+        return format_table(self.columns, self.rows, title=self.title)
+
+    def __str__(self) -> str:  # pragma: no cover - delegates to render
+        return self.render()
+
+
+def format_table(
+    columns: Sequence[str],
+    rows: Iterable[Sequence[str]],
+    *,
+    title: Optional[str] = None,
+) -> str:
+    """Render ``columns``/``rows`` of pre-stringified cells."""
+    rows = [list(r) for r in rows]
+    widths = [len(c) for c in columns]
+    for row in rows:
+        if len(row) != len(columns):
+            raise ValueError("row width does not match header width")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    sep = "-+-".join("-" * w for w in widths)
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(c.ljust(w) for c, w in zip(columns, widths)))
+    lines.append(sep)
+    for row in rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

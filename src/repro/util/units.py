@@ -1,0 +1,75 @@
+"""Byte-size units and conversions.
+
+The machine and cache configuration layers describe sizes in bytes; these
+helpers keep configuration code readable (``56 * KB``) and make log/table
+output human friendly.  Binary (power-of-two) units are used throughout,
+matching how cache sizes are specified in the paper (e.g. "12KB L1").
+"""
+
+from __future__ import annotations
+
+import re
+
+#: 1 KiB (the paper writes "KB" for cache sizes; these are binary units).
+KB = 1024
+#: 1 MiB.
+MB = 1024 * KB
+#: 1 GiB.
+GB = 1024 * MB
+
+_SUFFIXES = [("GB", GB), ("MB", MB), ("KB", KB), ("B", 1)]
+
+_HUMAN_RE = re.compile(
+    r"^\s*(?P<value>\d+(?:\.\d+)?)\s*(?P<unit>[KMG]?i?B?)\s*$", re.IGNORECASE
+)
+
+_UNIT_FACTORS = {
+    "": 1,
+    "B": 1,
+    "K": KB,
+    "KB": KB,
+    "KIB": KB,
+    "M": MB,
+    "MB": MB,
+    "MIB": MB,
+    "G": GB,
+    "GB": GB,
+    "GIB": GB,
+}
+
+
+def bytes_to_human(n: int) -> str:
+    """Format a byte count using the largest exact-or-close binary unit.
+
+    >>> bytes_to_human(12 * 1024)
+    '12KB'
+    >>> bytes_to_human(1536)
+    '1.5KB'
+    """
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for suffix, factor in _SUFFIXES:
+        if n >= factor:
+            value = n / factor
+            if value == int(value):
+                return f"{int(value)}{suffix}"
+            return f"{value:.1f}{suffix}"
+    return f"{n}B"
+
+
+def human_to_bytes(text: str) -> int:
+    """Parse a human-readable size like ``"56KB"`` or ``"1.5 MiB"``.
+
+    >>> human_to_bytes("56KB")
+    57344
+    """
+    match = _HUMAN_RE.match(text)
+    if match is None:
+        raise ValueError(f"cannot parse size: {text!r}")
+    unit = match.group("unit").upper()
+    if unit not in _UNIT_FACTORS:
+        raise ValueError(f"unknown unit in size: {text!r}")
+    value = float(match.group("value")) * _UNIT_FACTORS[unit]
+    if value != int(value):
+        raise ValueError(f"size {text!r} is not a whole number of bytes")
+    return int(value)

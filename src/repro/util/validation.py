@@ -1,0 +1,58 @@
+"""Argument-validation helpers with uniform error messages.
+
+Configuration objects across the library (cache geometries, machine
+profiles, application parameters) validate eagerly at construction time so
+that a bad experiment fails immediately with a clear message rather than
+deep inside a simulation loop.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class ValidationError(ValueError):
+    """Raised when a configuration or argument value is invalid."""
+
+
+def check_positive(name: str, value) -> None:
+    """Require ``value > 0``."""
+    if not value > 0:
+        raise ValidationError(f"{name} must be positive, got {value!r}")
+
+
+def check_in_range(
+    name: str,
+    value,
+    low: Optional[float] = None,
+    high: Optional[float] = None,
+    *,
+    low_inclusive: bool = True,
+    high_inclusive: bool = True,
+) -> None:
+    """Require ``value`` to lie within the given (possibly open) interval."""
+    if low is not None:
+        ok = value >= low if low_inclusive else value > low
+        if not ok:
+            op = ">=" if low_inclusive else ">"
+            raise ValidationError(f"{name} must be {op} {low}, got {value!r}")
+    if high is not None:
+        ok = value <= high if high_inclusive else value < high
+        if not ok:
+            op = "<=" if high_inclusive else "<"
+            raise ValidationError(f"{name} must be {op} {high}, got {value!r}")
+
+
+def check_power_of_two(name: str, value: int) -> None:
+    """Require an integral power of two (cache geometry constraint)."""
+    if not isinstance(value, (int, np.integer)) or value <= 0 or value & (value - 1):
+        raise ValidationError(f"{name} must be a positive power of two, got {value!r}")
+
+
+def check_finite(name: str, array) -> None:
+    """Require every element of an array (or scalar) to be finite."""
+    arr = np.asarray(array)
+    if not np.all(np.isfinite(arr)):
+        raise ValidationError(f"{name} contains non-finite values")

@@ -1,0 +1,96 @@
+"""Unit tests: cache geometry and hierarchy configuration."""
+
+import pytest
+
+from repro.cache.configs import (
+    NAMED_HIERARCHIES,
+    blue_waters_p1,
+    get_hierarchy,
+    system_a,
+    system_b,
+)
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.util.units import KB, MB
+from repro.util.validation import ValidationError
+
+
+class TestCacheGeometry:
+    def test_derived_quantities(self):
+        g = CacheGeometry(size_bytes=32 * KB, line_size=64, associativity=8)
+        assert g.n_lines == 512
+        assert g.n_sets == 64
+
+    def test_non_power_of_two_sizes_allowed(self):
+        # Table III's caches: 12KB 3-way and 56KB 7-way
+        g12 = CacheGeometry(size_bytes=12 * KB, line_size=64, associativity=3)
+        assert g12.n_sets == 64
+        g56 = CacheGeometry(size_bytes=56 * KB, line_size=64, associativity=7)
+        assert g56.n_sets == 128
+
+    def test_rejects_indivisible_lines(self):
+        with pytest.raises(ValidationError):
+            CacheGeometry(size_bytes=1000, line_size=64, associativity=1)
+
+    def test_rejects_indivisible_sets(self):
+        with pytest.raises(ValidationError):
+            CacheGeometry(size_bytes=64 * 10, line_size=64, associativity=3)
+
+    def test_rejects_non_power_of_two_line(self):
+        with pytest.raises(ValidationError):
+            CacheGeometry(size_bytes=4096, line_size=48, associativity=1)
+
+    def test_fully_associative(self):
+        g = CacheGeometry(size_bytes=4 * KB, line_size=64, associativity=64)
+        assert g.n_sets == 1
+
+    def test_describe_mentions_size(self):
+        g = CacheGeometry(size_bytes=56 * KB, line_size=64, associativity=7, name="L1")
+        assert "56KB" in g.describe()
+
+
+class TestCacheHierarchy:
+    def test_rejects_empty(self):
+        with pytest.raises(ValidationError):
+            CacheHierarchy([])
+
+    def test_rejects_shrinking_levels(self):
+        with pytest.raises(ValidationError):
+            CacheHierarchy(
+                [
+                    CacheGeometry(1 * MB, name="L1"),
+                    CacheGeometry(32 * KB, name="L2"),
+                ]
+            )
+
+    def test_with_level_replaces(self):
+        h = blue_waters_p1()
+        new_l1 = CacheGeometry(56 * KB, line_size=64, associativity=7, name="L1")
+        h2 = h.with_level(0, new_l1)
+        assert h2.levels[0].size_bytes == 56 * KB
+        assert h.levels[0].size_bytes == 32 * KB  # original untouched
+        assert h2.levels[1:] == h.levels[1:]
+
+    def test_with_level_bounds(self):
+        with pytest.raises(IndexError):
+            blue_waters_p1().with_level(9, CacheGeometry(64 * KB))
+
+    def test_level_names(self):
+        assert blue_waters_p1().level_names == ["L1", "L2", "L3"]
+
+
+class TestNamedConfigs:
+    def test_all_named_hierarchies_construct(self):
+        for name in NAMED_HIERARCHIES:
+            h = get_hierarchy(name)
+            assert h.n_levels >= 2
+
+    def test_unknown_name(self):
+        with pytest.raises(KeyError):
+            get_hierarchy("cray_xt9000")
+
+    def test_table3_pair_differs_only_in_l1(self):
+        a, b = system_a(), system_b()
+        assert a.levels[0].size_bytes == 12 * KB
+        assert b.levels[0].size_bytes == 56 * KB
+        assert a.levels[1:] == b.levels[1:]

@@ -1,0 +1,205 @@
+"""Unit + property tests: the vectorized cache simulator.
+
+The central check is bit-exact agreement with the scalar reference
+implementation over every access-pattern class, across chunk boundaries.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.cache.reference import ReferenceCacheLevel, simulate_reference
+from repro.cache.simulator import HierarchySimulator
+from repro.memstream.patterns import (
+    ConstantPattern,
+    GatherScatterPattern,
+    RandomPattern,
+    StencilPattern,
+    StridedPattern,
+)
+from repro.util.rng import stream
+from repro.util.units import KB
+
+
+def tiny_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheGeometry(1 * KB, line_size=64, associativity=2, name="L1"),
+            CacheGeometry(4 * KB, line_size=64, associativity=4, name="L2"),
+        ],
+        name="tiny",
+    )
+
+
+class TestAgainstReference:
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            StridedPattern(region_bytes=8 * KB),
+            StridedPattern(region_bytes=2 * KB),
+            StridedPattern(region_bytes=16 * KB, stride_elements=8),
+            RandomPattern(region_bytes=32 * KB),
+            GatherScatterPattern(region_bytes=16 * KB, locality=0.6),
+            StencilPattern(region_bytes=8 * KB, offsets=(-17, -1, 0, 1, 17)),
+            ConstantPattern(region_bytes=64),
+        ],
+        ids=lambda p: type(p).__name__ + str(p.region_bytes),
+    )
+    @pytest.mark.parametrize("chunk", [97, 1024])
+    def test_hit_counts_match_reference(self, pattern, chunk):
+        h = tiny_hierarchy()
+        addrs = pattern.addresses(0, 6000, stream("ref-test"))
+        sim = HierarchySimulator(h)
+        for i in range(0, len(addrs), chunk):
+            sim.process(addrs[i : i + chunk])
+        vec_hits = [lv.hits for lv in sim.result().levels]
+        _, ref_hits = simulate_reference(h, addrs)
+        assert vec_hits == ref_hits
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=4 * KB - 1), min_size=1, max_size=400),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_arbitrary_streams_match_reference(self, raw_addrs, chunk):
+        """Adversarial random address lists, arbitrary chunking."""
+        h = tiny_hierarchy()
+        addrs = np.asarray(raw_addrs, dtype=np.int64)
+        sim = HierarchySimulator(h)
+        for i in range(0, len(addrs), chunk):
+            sim.process(addrs[i : i + chunk])
+        vec_hits = [lv.hits for lv in sim.result().levels]
+        _, ref_hits = simulate_reference(h, addrs)
+        assert vec_hits == ref_hits
+
+
+class TestSemantics:
+    def test_cold_start_all_misses(self):
+        h = tiny_hierarchy()
+        sim = HierarchySimulator(h)
+        # distinct lines: every access cold-misses everywhere
+        addrs = np.arange(16, dtype=np.int64) * 64
+        sim.process(addrs)
+        res = sim.result()
+        assert res.levels[0].hits == 0
+        assert res.levels[1].hits == 0
+        assert res.total_accesses == 16
+
+    def test_immediate_reuse_hits_l1(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        sim.process(np.array([0, 0, 0, 0], dtype=np.int64))
+        assert sim.result().levels[0].hits == 3
+
+    def test_l1_eviction_caught_by_l2(self):
+        h = tiny_hierarchy()  # L1: 16 lines, 2-way, 8 sets
+        sim = HierarchySimulator(h)
+        # 3 lines mapping to the same L1 set (stride = 8 sets * 64B)
+        lines = np.array([0, 512, 1024], dtype=np.int64) * 8  # 0, 4096, 8192
+        seq = np.concatenate([lines, lines])
+        sim.process(seq)
+        res = sim.result()
+        # second round: all L1 misses (2-way set overflows with 3 lines,
+        # LRU evicts each before reuse), but L2 (4-way) holds them
+        assert res.levels[0].hits == 0
+        assert res.levels[1].hits == 3
+
+    def test_lru_order_within_set(self):
+        # associativity-2 set; access A, B, A, C: B is LRU at C's miss
+        g = CacheGeometry(128, line_size=64, associativity=2)  # 1 set
+        h = CacheHierarchy([g], name="one-set")
+        sim = HierarchySimulator(h)
+        a, b, c = 0, 64, 128
+        sim.process(np.array([a, b, a, c, a, b], dtype=np.int64))
+        res = sim.result()
+        # hits: a(3rd), a(5th); b at 6th was evicted by c -> miss
+        assert res.levels[0].hits == 2
+
+    def test_working_set_fits_second_pass_all_hits(self):
+        h = tiny_hierarchy()
+        p = StridedPattern(region_bytes=512)  # 8 lines << L1
+        addrs = p.addresses(0, 128, stream("fits"))
+        sim = HierarchySimulator(h)
+        sim.process(addrs)
+        res = sim.result()
+        # 8 cold misses; everything else L1-hits
+        assert res.levels[0].hits == 128 - 8
+
+    def test_per_instruction_attribution(self):
+        h = tiny_hierarchy()
+        sim = HierarchySimulator(h)
+        addrs = np.array([0, 4096, 0, 4096, 0, 4096], dtype=np.int64)
+        instr = np.array([0, 1, 0, 1, 0, 1], dtype=np.int32)
+        sim.process(addrs, instr)
+        lv0 = sim.result().levels[0]
+        assert lv0.instr_accesses[0] == 3 and lv0.instr_accesses[1] == 3
+        # each instruction re-touches its own line (different sets)
+        assert lv0.instr_hits[0] == 2 and lv0.instr_hits[1] == 2
+
+    def test_instr_idx_shape_mismatch_rejected(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        with pytest.raises(ValueError):
+            sim.process(np.zeros(4, dtype=np.int64), np.zeros(3, dtype=np.int32))
+
+    def test_reset_clears_everything(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        sim.process(np.zeros(100, dtype=np.int64))
+        sim.reset()
+        res = sim.result()
+        assert res.total_accesses == 0
+        assert all(lv.hits == 0 for lv in res.levels)
+        sim.process(np.zeros(1, dtype=np.int64))
+        assert sim.result().levels[0].hits == 0  # cold again
+
+    def test_clear_counters_keeps_cache_warm(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        sim.process(np.zeros(10, dtype=np.int64))
+        sim.clear_counters()
+        sim.process(np.zeros(1, dtype=np.int64))
+        res = sim.result()
+        assert res.total_accesses == 1
+        assert res.levels[0].hits == 1  # line still resident
+
+    def test_empty_chunk(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        sim.process(np.empty(0, dtype=np.int64))
+        assert sim.result().total_accesses == 0
+
+
+class TestResultMetrics:
+    def test_cumulative_hit_rates_monotone(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        p = RandomPattern(region_bytes=16 * KB)
+        sim.process(p.addresses(0, 20_000, stream("cum")))
+        rates = sim.result().cumulative_hit_rates()
+        assert np.all(np.diff(rates) >= 0)
+        assert 0.0 <= rates[0] <= rates[-1] <= 1.0
+
+    def test_cumulative_hit_rates_empty(self):
+        rates = HierarchySimulator(tiny_hierarchy()).result().cumulative_hit_rates()
+        np.testing.assert_array_equal(rates, [0.0, 0.0])
+
+    def test_instruction_cumulative_hit_rates_shape(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        addrs = np.array([0, 0, 64, 64], dtype=np.int64)
+        sim.process(addrs, np.array([0, 0, 1, 1], dtype=np.int32))
+        mat = sim.result().instruction_cumulative_hit_rates(2)
+        assert mat.shape == (2, 2)
+        assert np.all(mat >= 0) and np.all(mat <= 1)
+
+    def test_local_hit_rate(self):
+        sim = HierarchySimulator(tiny_hierarchy())
+        sim.process(np.array([0, 0], dtype=np.int64))
+        assert sim.result().levels[0].local_hit_rate == 0.5
+
+
+class TestReferenceLevel:
+    def test_basic_lru(self):
+        g = CacheGeometry(128, line_size=64, associativity=2)
+        lv = ReferenceCacheLevel(g)
+        assert lv.access(0) is False
+        assert lv.access(0) is True
+        assert lv.access(64) is False
+        assert lv.access(128) is False  # evicts line 0 (LRU)
+        assert lv.access(0) is False

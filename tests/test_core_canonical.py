@@ -1,0 +1,187 @@
+"""Unit + property tests: canonical forms and model selection (§IV)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.canonical import (
+    EXTENDED_FORMS,
+    PAPER_FORMS,
+    ConstantForm,
+    ExponentialForm,
+    InverseForm,
+    LinearForm,
+    LogarithmicForm,
+    PowerForm,
+    QuadraticForm,
+    fit_all,
+    fit_best,
+)
+
+X3 = np.array([96.0, 384.0, 1536.0])
+X4 = np.array([96.0, 384.0, 1536.0, 6144.0])
+
+
+class TestIndividualForms:
+    def test_constant_fit(self):
+        f = ConstantForm()
+        params = f.fit(X3, np.array([5.0, 5.0, 5.0]))
+        assert params[0] == 5.0
+        np.testing.assert_allclose(f.evaluate(params, X3), 5.0)
+
+    def test_linear_recovers_exact(self):
+        f = LinearForm()
+        y = 3.0 + 0.01 * X3
+        params = f.fit(X3, y)
+        np.testing.assert_allclose(params, [3.0, 0.01], rtol=1e-9)
+        np.testing.assert_allclose(f.evaluate(params, np.array([6144.0])), 3.0 + 61.44)
+
+    def test_log_recovers_exact(self):
+        f = LogarithmicForm()
+        y = 1.0 + 2.0 * np.log(X3)
+        params = f.fit(X3, y)
+        np.testing.assert_allclose(params, [1.0, 2.0], rtol=1e-9)
+
+    def test_log_rejects_nonpositive_x(self):
+        assert LogarithmicForm().fit(np.array([0.0, 1.0]), np.array([1.0, 2.0])) is None
+
+    def test_exp_recovers_exact(self):
+        f = ExponentialForm()
+        y = 2.0 * np.exp(0.001 * X3)
+        params = f.fit(X3, y)
+        np.testing.assert_allclose(params, [2.0, 0.001], rtol=1e-6)
+
+    def test_exp_negative_values(self):
+        f = ExponentialForm()
+        y = -2.0 * np.exp(0.001 * X3)
+        params = f.fit(X3, y)
+        assert params[0] == pytest.approx(-2.0, rel=1e-6)
+        assert np.all(f.evaluate(params, X3) < 0)
+
+    def test_exp_mixed_signs_rejected(self):
+        assert ExponentialForm().fit(X3, np.array([-1.0, 1.0, 2.0])) is None
+
+    def test_exp_evaluation_never_overflows(self):
+        f = ExponentialForm()
+        params = np.array([1.0, 10.0])
+        out = f.evaluate(params, np.array([1e6]))
+        assert np.isfinite(out).all()
+
+    def test_power_recovers_inverse_scaling(self):
+        """Strong scaling's 1/P shape is exactly a power law (§VI)."""
+        f = PowerForm()
+        y = 1e9 / X3
+        params = f.fit(X3, y)
+        assert params[1] == pytest.approx(-1.0, rel=1e-9)
+        pred = f.evaluate(params, np.array([6144.0]))
+        assert pred[0] == pytest.approx(1e9 / 6144.0, rel=1e-6)
+
+    def test_inverse_recovers_exact(self):
+        f = InverseForm()
+        y = 2.0 + 300.0 / X3
+        params = f.fit(X3, y)
+        np.testing.assert_allclose(params, [2.0, 300.0], rtol=1e-9)
+
+    def test_quadratic_needs_four_points(self):
+        # guarded via min_points: fit_all must not offer quadratic on 3 pts
+        results = fit_all(X3, np.array([1.0, 2.0, 3.0]), EXTENDED_FORMS)
+        assert "quadratic" not in {r.form.name for r in results}
+        results4 = fit_all(X4, np.array([1.0, 2.0, 4.0, 9.0]), EXTENDED_FORMS)
+        assert "quadratic" in {r.form.name for r in results4}
+
+    def test_describe_strings(self):
+        for form in EXTENDED_FORMS:
+            params = form.fit(X4, np.array([1.0, 2.0, 3.0, 4.0]))
+            if params is not None:
+                assert isinstance(form.describe(params), str)
+
+
+class TestSelection:
+    def test_constant_wins_flat_data(self):
+        best = fit_best(X3, np.array([7.0, 7.0, 7.0]))
+        assert best.form.name == "constant"
+
+    def test_linear_wins_linear_data(self):
+        best = fit_best(X3, 1.0 + 0.5 * X3)
+        assert best.form.name == "linear"
+
+    def test_log_wins_log_data(self):
+        best = fit_best(X3, 2.0 + 3.0 * np.log(X3))
+        assert best.form.name == "log"
+
+    def test_exp_wins_exp_data(self):
+        best = fit_best(X3, 0.5 * np.exp(0.002 * X3))
+        assert best.form.name == "exp"
+
+    def test_fig4_shape_linear_hit_rate(self):
+        """Fig. 4: rising L2 hit rate best captured by the linear form."""
+        x = np.array([1024.0, 2048.0, 4096.0])
+        y = 0.10 + 3e-5 * x  # gently rising rate
+        assert fit_best(x, y).form.name == "linear"
+
+    def test_fig5_shape_log_memops(self):
+        """Fig. 5: memory-op counts growing like log(cores)."""
+        x = np.array([1024.0, 2048.0, 4096.0])
+        y = 1e9 * np.log(x) - 5e9
+        assert fit_best(x, y).form.name == "log"
+
+    def test_parsimony_tie_break(self):
+        # all-zero data: every form fits exactly; constant must win
+        best = fit_best(X3, np.zeros(3))
+        assert best.form.name == "constant"
+
+    def test_results_ordered_best_first(self):
+        results = fit_all(X3, 2.0 + 3.0 * np.log(X3))
+        assert results[0].form.name == "log"
+        assert results[0].sse <= results[-1].sse + 1e-9
+
+    def test_duplicate_core_counts_rejected(self):
+        with pytest.raises(ValueError):
+            fit_best(np.array([8.0, 8.0, 16.0]), np.array([1.0, 2.0, 3.0]))
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(Exception):
+            fit_best(X3, np.array([1.0, np.nan, 2.0]))
+
+    def test_extended_forms_capture_strong_scaling(self):
+        """§VI's conjecture: more forms reduce extrapolation error."""
+        y = 1e10 / X3  # per-task counts under strong scaling
+        paper_best = fit_best(X3, y, PAPER_FORMS)
+        ext_best = fit_best(X3, y, EXTENDED_FORMS)
+        true = 1e10 / 6144.0
+        paper_err = abs(paper_best.predict(6144.0) - true) / true
+        ext_err = abs(ext_best.predict(6144.0) - true) / true
+        assert ext_err < 0.01
+        assert ext_err < paper_err
+
+    @given(
+        st.floats(min_value=-100, max_value=100),
+        st.floats(min_value=-0.5, max_value=0.5),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_linear_data_always_recovered(self, a, b):
+        y = a + b * X3
+        results = fit_all(X3, y)
+        best = results[0]
+        pred = best.predict(X3)
+        np.testing.assert_allclose(pred, y, atol=1e-6 + 1e-6 * np.abs(y).max())
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=1e6), min_size=3, max_size=3))
+    @settings(max_examples=50, deadline=None)
+    def test_some_form_always_fits_positive_data(self, ys):
+        best = fit_best(X3, np.array(ys))
+        assert np.isfinite(best.sse)
+
+    def test_proportional_series_choose_same_form(self):
+        """LS fits commute with scaling: k*y picks the same form as y.
+
+        This is what keeps extrapolated per-iteration ratios exact even
+        when absolute counts extrapolate imperfectly (DESIGN.md §5).
+        """
+        y = 1e10 / X3
+        for k in (3.0, 7.0, 0.25):
+            a = fit_best(X3, y)
+            b = fit_best(X3, k * y)
+            assert a.form.name == b.form.name
+            ratio = b.predict(6144.0) / a.predict(6144.0)
+            assert ratio == pytest.approx(k, rel=1e-9)

@@ -1,0 +1,272 @@
+"""Unit tests: synthetic executable IR, PEBIL-like instrumentation, collection."""
+
+import numpy as np
+import pytest
+
+from repro.cache.configs import blue_waters_p1
+from repro.cache.geometry import CacheGeometry
+from repro.cache.hierarchy import CacheHierarchy
+from repro.instrument.builder import ProgramBuilder
+from repro.instrument.collector import CollectorConfig, collect_trace
+from repro.instrument.pebil import InstrumentedProgram
+from repro.instrument.program import (
+    BasicBlockSpec,
+    FpInstructionSpec,
+    MemInstructionSpec,
+    Program,
+)
+from repro.memstream.patterns import RandomPattern, StridedPattern
+from repro.trace.records import SourceLocation
+from repro.util.units import KB, MB
+
+
+def small_hierarchy():
+    return CacheHierarchy(
+        [
+            CacheGeometry(4 * KB, line_size=64, associativity=2, name="L1"),
+            CacheGeometry(32 * KB, line_size=64, associativity=8, name="L2"),
+        ],
+        name="small",
+    )
+
+
+def demo_program(exec_count=2000):
+    return (
+        ProgramBuilder("demo")
+        .block("alpha", file="a.f90", line=1)
+        .load(StridedPattern(region_bytes=2 * KB), per_iteration=3)
+        .store(StridedPattern(region_bytes=2 * KB))
+        .fp({"fp_add": 2, "fp_fma": 1}, ilp=2.0, dep_chain=3.0)
+        .executes(exec_count)
+        .done()
+        .block("beta", file="a.f90", line=40)
+        .load(RandomPattern(region_bytes=1 * MB))
+        .executes(exec_count // 2)
+        .done()
+        .build()
+    )
+
+
+class TestProgramIR:
+    def test_block_requires_instructions(self):
+        with pytest.raises(ValueError):
+            BasicBlockSpec(
+                block_id=0, location=SourceLocation(function="empty")
+            )
+
+    def test_mem_kind_validated(self):
+        with pytest.raises(ValueError):
+            MemInstructionSpec(kind="move", pattern=StridedPattern(region_bytes=64))
+
+    def test_fp_op_classes_validated(self):
+        with pytest.raises(ValueError):
+            FpInstructionSpec(op_counts={"fp_sqrt": 1})
+        with pytest.raises(ValueError):
+            FpInstructionSpec(op_counts={})
+
+    def test_counts(self):
+        prog = demo_program(exec_count=100)
+        b = prog.blocks[0]
+        assert b.mem_accesses_per_iteration == 4
+        assert b.total_mem_accesses == 400
+        assert b.total_fp_ops == 300
+        assert prog.total_mem_accesses == 400 + 50
+
+    def test_duplicate_block_id_rejected(self):
+        pb = ProgramBuilder("dup")
+        pb.block("a", block_id=7).load(StridedPattern(region_bytes=64)).done()
+        with pytest.raises(ValueError):
+            pb.block("b", block_id=7).load(StridedPattern(region_bytes=64)).done()
+
+    def test_layout_assigns_disjoint_regions(self):
+        prog = demo_program()
+        assert prog.laid_out
+        regions = [
+            (m.pattern.base, m.pattern.base + m.pattern.region_bytes)
+            for b in prog.blocks
+            for m in b.mem_instructions
+        ]
+        regions.sort()
+        assert regions[0][0] > 0  # page zero unmapped
+        for (lo1, hi1), (lo2, hi2) in zip(regions, regions[1:]):
+            assert hi1 <= lo2  # no overlap
+
+    def test_block_lookup(self):
+        prog = demo_program()
+        assert prog.block(0).location.function == "alpha"
+        with pytest.raises(KeyError):
+            prog.block(99)
+
+    def test_footprint(self):
+        prog = demo_program()
+        assert prog.footprint_bytes() == 2 * KB + 2 * KB + 1 * MB
+
+
+class TestInstrumentedProgram:
+    def test_requires_layout(self):
+        prog = Program(name="raw")
+        prog.add_block(
+            BasicBlockSpec(
+                block_id=0,
+                location=SourceLocation(function="f"),
+                mem_instructions=(
+                    MemInstructionSpec(
+                        kind="load", pattern=StridedPattern(region_bytes=64)
+                    ),
+                ),
+                exec_count=1,
+            )
+        )
+        with pytest.raises(ValueError):
+            InstrumentedProgram(prog, small_hierarchy())
+
+    def test_observations_cover_all_blocks(self):
+        prog = demo_program()
+        report = InstrumentedProgram(
+            prog, small_hierarchy(), sample_accesses=5_000
+        ).run()
+        assert set(report.observations) == {0, 1}
+
+    def test_sampling_caps_and_scales(self):
+        prog = demo_program(exec_count=10_000_000)
+        ip = InstrumentedProgram(
+            prog, small_hierarchy(), sample_accesses=4_000, max_sample_accesses=50_000
+        )
+        obs = ip.run().observation(0)
+        assert obs.sampled_iterations < 10_000_000
+        assert obs.full_iterations == 10_000_000
+        assert obs.scale == pytest.approx(10_000_000 / obs.sampled_iterations)
+
+    def test_small_blocks_fully_sampled(self):
+        prog = demo_program(exec_count=50)
+        obs = (
+            InstrumentedProgram(prog, small_hierarchy(), sample_accesses=5_000)
+            .run()
+            .observation(0)
+        )
+        assert obs.sampled_iterations == 50
+        assert obs.scale == 1.0
+
+    def test_coverage_faithful_sampling(self):
+        """Sample must cover region-or-cache even with a tiny base budget."""
+        prog = (
+            ProgramBuilder("big-sweep")
+            .block("sweep")
+            .load(StridedPattern(region_bytes=256 * KB))
+            .executes(10_000_000)
+            .done()
+            .build()
+        )
+        h = small_hierarchy()  # largest cache: 32KB
+        ip = InstrumentedProgram(prog, h, sample_accesses=100)
+        obs = ip.run().observation(0)
+        # coverage rule: at least 2 * 32KB / 8B = 8192 accesses sampled
+        assert obs.accesses.sum() >= 2 * 32 * KB // 8
+
+    def test_hit_rates_sane(self):
+        prog = demo_program()
+        obs = (
+            InstrumentedProgram(prog, small_hierarchy(), sample_accesses=20_000)
+            .run()
+            .observation(0)
+        )
+        rates = obs.cumulative_hit_rates()
+        assert rates.shape == (2, 2)
+        assert np.all(rates >= 0) and np.all(rates <= 1)
+        assert np.all(np.diff(rates, axis=1) >= 0)
+        # 2KB strided region fits L1 after warm-up: near-perfect L1 rate
+        assert rates[0, 0] > 0.95
+
+    def test_served_counts_partition_accesses(self):
+        prog = demo_program()
+        obs = (
+            InstrumentedProgram(prog, small_hierarchy(), sample_accesses=20_000)
+            .run()
+            .observation(1)
+        )
+        served = obs.served_counts()
+        np.testing.assert_array_equal(served.sum(axis=1), obs.accesses)
+
+    def test_deterministic(self):
+        a = InstrumentedProgram(demo_program(), small_hierarchy()).run()
+        b = InstrumentedProgram(demo_program(), small_hierarchy()).run()
+        for bid in a.observations:
+            np.testing.assert_array_equal(
+                a.observation(bid).level_hits, b.observation(bid).level_hits
+            )
+
+    def test_missing_block_raises(self):
+        report = InstrumentedProgram(demo_program(), small_hierarchy()).run()
+        with pytest.raises(KeyError):
+            report.observation(42)
+
+
+class TestCollector:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return collect_trace(
+            demo_program(),
+            small_hierarchy(),
+            app="demo",
+            rank=3,
+            n_ranks=16,
+            config=CollectorConfig(sample_accesses=20_000),
+        )
+
+    def test_metadata(self, trace):
+        assert trace.app == "demo"
+        assert trace.rank == 3
+        assert trace.n_ranks == 16
+        assert trace.target == "small"
+        assert not trace.extrapolated
+
+    def test_structure(self, trace):
+        assert trace.n_blocks == 2
+        b0 = trace.blocks[0]
+        assert b0.n_instructions == 3  # load, store, fp
+        kinds = [i.kind for i in b0.instructions]
+        assert kinds == ["load", "store", "fp"]
+
+    def test_counts_are_full_magnitudes(self, trace):
+        schema = trace.schema
+        load = trace.blocks[0].instructions[0]
+        assert load.feature(schema, "mem_ops") == 3 * 2000
+        assert load.feature(schema, "loads") == 3 * 2000
+        assert load.feature(schema, "stores") == 0
+        assert load.feature(schema, "exec_count") == 2000
+        store = trace.blocks[0].instructions[1]
+        assert store.feature(schema, "stores") == 2000
+
+    def test_fp_features(self, trace):
+        schema = trace.schema
+        fp = trace.blocks[0].instructions[2]
+        assert fp.feature(schema, "fp_add") == 2 * 2000
+        assert fp.feature(schema, "fp_fma") == 2000
+        assert fp.feature(schema, "mem_ops") == 0
+        assert fp.feature(schema, "ilp") == 2.0
+
+    def test_working_set_recorded(self, trace):
+        schema = trace.schema
+        beta_load = trace.blocks[1].instructions[0]
+        assert beta_load.feature(schema, "working_set_bytes") == 1 * MB
+
+    def test_hit_rates_recorded(self, trace):
+        schema = trace.schema
+        rates = schema.hit_rates(trace.blocks[0].instructions[0].features)
+        assert rates[0] > 0.9  # 2KB region in 4KB L1
+
+    def test_collect_against_bigger_target(self):
+        """Cross-architectural: same program, different target hierarchy."""
+        t_small = collect_trace(
+            demo_program(), small_hierarchy(), app="d", rank=0, n_ranks=1,
+            config=CollectorConfig(sample_accesses=20_000),
+        )
+        t_big = collect_trace(
+            demo_program(), blue_waters_p1(), app="d", rank=0, n_ranks=1,
+            config=CollectorConfig(sample_accesses=20_000),
+        )
+        s, b = t_small.schema, t_big.schema
+        # 1MB random region: poor in 32KB L2, much better in 4MB L3
+        small_l2 = t_small.blocks[1].instructions[0].features[s.index("hit_rate_L2")]
+        big_l3 = t_big.blocks[1].instructions[0].features[b.index("hit_rate_L3")]
+        assert big_l3 > small_l2

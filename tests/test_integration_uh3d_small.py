@@ -1,0 +1,114 @@
+"""Integration: the full pipeline on a reduced UH3D (the second app class).
+
+The Jacobi integration exercises stencil/streaming behavior; this module
+covers the gather/scatter-dominated PIC workload, plus the clustering
+extension end to end.
+"""
+
+import numpy as np
+import pytest
+
+from repro.apps.uh3d import UH3DParams, UH3DProxy
+from repro.core.clustering import cluster_ranks, extrapolate_signature_clustered
+from repro.core.crossval import cross_validate_traces
+from repro.core.errors import abs_rel_error
+from repro.core.extrapolate import extrapolate_trace
+from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.predict import measure_runtime, predict_runtime
+
+from tests.conftest import FAST_COLLECTOR, FAST_SETTINGS
+
+
+@pytest.fixture(scope="module")
+def uh3d_small():
+    return UH3DProxy(
+        UH3DParams(
+            global_cells=(32, 32, 32), particles_per_cell=2.0, n_steps=2
+        )
+    )
+
+
+@pytest.fixture(scope="module")
+def uh3d_traces(uh3d_small, bw_machine):
+    return [
+        collect_signature(
+            uh3d_small, p, bw_machine.hierarchy, FAST_SETTINGS
+        ).slowest_trace()
+        for p in (8, 16, 32)
+    ]
+
+
+class TestUH3DEndToEnd:
+    def test_trace_structure(self, uh3d_traces):
+        for trace in uh3d_traces:
+            assert trace.n_blocks == 7
+            assert trace.app == "uh3d"
+
+    def test_extrap_vs_collected_prediction(
+        self, uh3d_small, bw_machine, uh3d_traces
+    ):
+        target = 64
+        res = extrapolate_trace(uh3d_traces, target)
+        coll = collect_signature(
+            uh3d_small, target, bw_machine.hierarchy, FAST_SETTINGS
+        ).slowest_trace()
+        job = uh3d_small.build_job(target)
+        pe = predict_runtime(uh3d_small, target, res.trace, bw_machine, job=job)
+        pc = predict_runtime(uh3d_small, target, coll, bw_machine, job=job)
+        assert abs_rel_error(pc.runtime_s, pe.runtime_s) < 0.25
+
+    def test_prediction_vs_measured(self, uh3d_small, bw_machine, bw_spec, uh3d_traces):
+        target = 32
+        job = uh3d_small.build_job(target)
+        pred = predict_runtime(
+            uh3d_small, target, uh3d_traces[2], bw_machine, job=job
+        )
+        meas = measure_runtime(uh3d_small, target, bw_spec, job=job)
+        assert abs_rel_error(meas.runtime_s, pred.runtime_s) < 0.25
+
+    def test_gather_hit_rates_rise_with_core_count(self, uh3d_traces):
+        """The Table II mechanism on the small config."""
+        from repro.apps.uh3d import BLOCK_FIELD_GATHER
+
+        schema = uh3d_traces[0].schema
+        l3 = [
+            t.blocks[BLOCK_FIELD_GATHER].instructions[0].features[
+                schema.index("hit_rate_L3")
+            ]
+            for t in uh3d_traces
+        ]
+        assert l3[-1] >= l3[0]
+
+    def test_cross_validation_on_real_traces(self, uh3d_traces):
+        report = cross_validate_traces(uh3d_traces)
+        assert 0.0 < report.trust_fraction(0.25) <= 1.0
+        # rates validate well even when counts flag
+        rate_errors = [
+            e.held_out_error
+            for e in report.elements
+            if e.feature.startswith("hit_rate") and np.isfinite(e.held_out_error)
+        ]
+        assert float(np.median(rate_errors)) < 0.10
+
+
+class TestClusteringEndToEnd:
+    @pytest.fixture(scope="class")
+    def full_signatures(self, uh3d_small, bw_machine):
+        settings = CollectionSettings(ranks="all", collector=FAST_COLLECTOR)
+        return [
+            collect_signature(uh3d_small, p, bw_machine.hierarchy, settings)
+            for p in (8, 16)
+        ]
+
+    def test_cluster_ranks_on_collected_signature(self, full_signatures):
+        clustering = cluster_ranks(full_signatures[0], 2)
+        assert sorted(clustering.labels) == list(range(8))
+        assert len(clustering.representatives) == 2
+
+    def test_clustered_extrapolation_runs(self, full_signatures):
+        result = extrapolate_signature_clustered(full_signatures, 32, k=2)
+        assert len(result.traces) == 2
+        assert sum(result.shares) == pytest.approx(1.0)
+        for trace in result.traces:
+            assert trace.n_ranks == 32
+            assert trace.n_blocks == 7

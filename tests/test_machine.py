@@ -1,0 +1,224 @@
+"""Unit tests: hardware timing, bandwidth surface, MultiMAPS, profiles."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.configs import opteron_2level
+from repro.machine.multimaps import MultiMAPSProbe, run_multimaps
+from repro.machine.network import NetworkParameters
+from repro.machine.profile import build_profile
+from repro.machine.surface import BandwidthSurface, served_fractions
+from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
+from repro.machine.timing import HardwareTiming
+
+
+def simple_timing(n_levels=2):
+    return HardwareTiming(
+        level_time_ns=tuple(1.0 * 4**i for i in range(n_levels)),
+        memory_time_ns=50.0 * 4 ** (n_levels - 1),
+    )
+
+
+class TestHardwareTiming:
+    def test_service_times_shape(self):
+        t = simple_timing(3)
+        assert t.service_times_ns().shape == (4,)
+
+    def test_memory_must_be_slowest(self):
+        with pytest.raises(ValueError):
+            HardwareTiming(level_time_ns=(1.0, 60.0), memory_time_ns=50.0)
+
+    def test_requires_all_fp_kinds(self):
+        with pytest.raises(ValueError):
+            HardwareTiming(
+                level_time_ns=(1.0,),
+                memory_time_ns=10.0,
+                fp_time_ns={"fp_add": 0.5},
+            )
+
+    def test_stream_time(self):
+        t = simple_timing(2)  # 1ns, 4ns, 200ns
+        assert t.stream_time_ns([10, 0, 0]) == pytest.approx(10.0)
+        assert t.stream_time_ns([0, 0, 1]) == pytest.approx(200.0)
+
+    def test_achieved_bandwidth_all_l1(self):
+        t = simple_timing(2)
+        # 8 bytes per 1ns = 8 GB/s
+        assert t.achieved_bandwidth_gbs([100, 0, 0]) == pytest.approx(8.0)
+
+    def test_achieved_bandwidth_empty_stream(self):
+        assert simple_timing().achieved_bandwidth_gbs([0, 0, 0]) == 0.0
+
+    def test_served_count_length_checked(self):
+        with pytest.raises(ValueError):
+            simple_timing(2).stream_time_ns([1, 2])
+
+
+class TestServedFractions:
+    def test_basic(self):
+        f = served_fractions(np.array([0.5, 0.75, 1.0]))
+        np.testing.assert_allclose(f, [0.5, 0.25, 0.25, 0.0])
+
+    def test_all_memory(self):
+        f = served_fractions(np.array([0.0, 0.0]))
+        np.testing.assert_allclose(f, [0.0, 0.0, 1.0])
+
+    def test_monotone_enforced(self):
+        # jittery (non-monotone) extrapolated rates are re-monotonized
+        f = served_fractions(np.array([0.9, 0.85, 0.95]))
+        assert np.all(f >= 0)
+        assert f.sum() == pytest.approx(1.0)
+
+    @given(
+        st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=4)
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_fractions_are_distribution(self, rates):
+        f = served_fractions(np.array(rates))
+        assert np.all(f >= -1e-12)
+        assert f.sum() == pytest.approx(1.0)
+
+
+class TestBandwidthSurface:
+    def test_fit_recovers_reciprocal_model(self):
+        # synthesize samples from a known reciprocal model
+        rng = np.random.default_rng(42)
+        coeffs = np.array([0.1, 0.5, 4.0])  # ns/byte at L1, L2, mem
+        rates = rng.uniform(0, 1, size=(50, 2))
+        rates.sort(axis=1)
+        fractions = served_fractions(rates)
+        bw = 1.0 / (fractions @ coeffs)
+        surf = BandwidthSurface.fit(rates, bw)
+        np.testing.assert_allclose(surf.coefficients, coeffs, rtol=1e-6)
+        assert surf.fit_quality() < 1e-9
+
+    def test_bandwidth_monotone_in_hit_rate(self):
+        surf = BandwidthSurface.fit(
+            np.array([[1.0, 1.0], [0.0, 1.0], [0.0, 0.0]]),
+            np.array([20.0, 4.0, 0.5]),
+        )
+        lo = surf.bandwidth_gbs([0.2, 0.4])
+        hi = surf.bandwidth_gbs([0.9, 0.95])
+        assert hi > lo
+
+    def test_batched_query(self):
+        surf = BandwidthSurface.fit(
+            np.array([[1.0, 1.0], [0.0, 0.0]]), np.array([10.0, 1.0])
+        )
+        out = surf.bandwidth_gbs(np.array([[1.0, 1.0], [0.0, 0.0]]))
+        assert out.shape == (2,)
+
+    def test_rejects_nonpositive_bandwidth(self):
+        with pytest.raises(ValueError):
+            BandwidthSurface.fit(np.array([[1.0]]), np.array([0.0]))
+
+    def test_rejects_mismatched_samples(self):
+        with pytest.raises(ValueError):
+            BandwidthSurface.fit(np.ones((3, 2)), np.ones(2))
+
+
+class TestMultiMAPS:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return run_multimaps(
+            opteron_2level(),
+            HardwareTiming(level_time_ns=(0.75, 3.0), memory_time_ns=28.0),
+            working_sets=[4096, 32768, 262144, 4 << 20],
+            strides=[1, 8],
+            accesses_per_probe=20_000,
+        )
+
+    def test_probe_count(self, sweep):
+        assert len(sweep.probes) == 8
+        assert sweep.hit_rates.shape == (8, 2)
+        assert sweep.bandwidths_gbs.shape == (8,)
+
+    def test_small_working_set_fast(self, sweep):
+        """Fig. 1's shape: in-L1 working sets achieve peak bandwidth."""
+        by_probe = {
+            (p.working_set_bytes, p.stride_elements): bw
+            for p, bw in zip(sweep.probes, sweep.bandwidths_gbs)
+        }
+        assert by_probe[(4096, 1)] > by_probe[(4 << 20, 1)] * 3
+
+    def test_large_stride_wastes_bandwidth(self, sweep):
+        by_probe = {
+            (p.working_set_bytes, p.stride_elements): bw
+            for p, bw in zip(sweep.probes, sweep.bandwidths_gbs)
+        }
+        # stride 8 (64B) touches a new line every access in big sets
+        assert by_probe[(4 << 20, 8)] < by_probe[(4 << 20, 1)]
+
+    def test_surface_fit_quality(self, sweep):
+        assert sweep.surface().fit_quality() < 0.05
+
+    def test_level_count_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            run_multimaps(opteron_2level(), simple_timing(3))
+
+    def test_probe_validation(self):
+        with pytest.raises(Exception):
+            MultiMAPSProbe(working_set_bytes=0, stride_elements=1)
+
+
+class TestNetworkParameters:
+    def test_p2p_latency_floor(self):
+        net = NetworkParameters(latency_us=2.0)
+        assert net.p2p_time_s(0) >= 2e-6
+
+    def test_p2p_monotone_in_size(self):
+        net = NetworkParameters()
+        assert net.p2p_time_s(1 << 20) > net.p2p_time_s(1 << 10)
+
+    def test_effective_bandwidth_saturates(self):
+        net = NetworkParameters(bandwidth_gbs=5.0, half_bandwidth_bytes=8192)
+        assert net.effective_bandwidth_gbs(8192) == pytest.approx(2.5)
+        assert net.effective_bandwidth_gbs(1 << 30) == pytest.approx(5.0, rel=1e-3)
+
+    def test_collectives_scale_logarithmically(self):
+        net = NetworkParameters()
+        t64 = net.allreduce_time_s(64, 8)
+        t4096 = net.allreduce_time_s(4096, 8)
+        # log2 depth doubles (6 -> 12); a constant latency term damps it
+        assert 1.7 < t4096 / t64 <= 2.0
+
+    def test_alltoall_scales_linearly(self):
+        net = NetworkParameters()
+        assert net.alltoall_time_s(128, 8) > 10 * net.alltoall_time_s(8, 8)
+
+    def test_negative_size_rejected(self):
+        with pytest.raises(ValueError):
+            NetworkParameters().p2p_time_s(-1)
+
+
+class TestMachineProfiles:
+    def test_all_named_machines_have_specs(self):
+        for name in MACHINE_BUILDERS:
+            spec = get_spec(name)
+            assert spec.timing.n_levels == spec.hierarchy.n_levels
+
+    def test_get_machine_cached(self):
+        a = get_machine("opteron_2level", accesses_per_probe=10_000)
+        b = get_machine("opteron_2level", accesses_per_probe=10_000)
+        assert a is b
+
+    def test_unknown_machine(self):
+        with pytest.raises(KeyError):
+            get_spec("cray_1")
+
+    def test_profile_bandwidth_sane(self):
+        m = get_machine("opteron_2level", accesses_per_probe=10_000)
+        peak = m.memory_bandwidth_gbs(np.ones(m.n_levels))
+        floor = m.memory_bandwidth_gbs(np.zeros(m.n_levels))
+        assert peak > floor > 0
+
+    def test_fp_time(self):
+        m = get_machine("opteron_2level", accesses_per_probe=10_000)
+        t = m.fp_time_s({"fp_add": 1e9})
+        assert t == pytest.approx(1e9 / (m.fp_rates_gflops["fp_add"] * 1e9))
+
+    def test_fp_unknown_kind_rejected(self):
+        m = get_machine("opteron_2level", accesses_per_probe=10_000)
+        with pytest.raises(KeyError):
+            m.fp_time_s({"fp_sqrt": 1.0})

@@ -1,0 +1,171 @@
+"""Unit tests: SimMPI events, communicator, runtime, profiler."""
+
+import pytest
+
+from repro.instrument.builder import ProgramBuilder
+from repro.memstream.patterns import StridedPattern
+from repro.simmpi.comm import SimComm
+from repro.simmpi.events import (
+    BarrierEvent,
+    CollectiveEvent,
+    ComputeEvent,
+    RecvEvent,
+    SendEvent,
+)
+from repro.simmpi.profiler import profile_job
+from repro.simmpi.runtime import (
+    Job,
+    JobVerificationError,
+    RankScript,
+    run_job,
+    verify_job,
+)
+
+
+class TestEvents:
+    def test_collective_validates_op(self):
+        with pytest.raises(ValueError):
+            CollectiveEvent(op="gathervv")
+
+    def test_barrier_helper(self):
+        b = BarrierEvent()
+        assert b.op == "barrier" and b.nbytes == 0
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(Exception):
+            SendEvent(dest=0, nbytes=-1)
+        with pytest.raises(Exception):
+            ComputeEvent(block_id=0, iterations=-1)
+
+
+class TestSimComm:
+    def test_rank_bounds(self):
+        with pytest.raises(ValueError):
+            SimComm(4, 4)
+        with pytest.raises(ValueError):
+            SimComm(0, 0)
+
+    def test_self_send_rejected(self):
+        comm = SimComm(1, 4)
+        with pytest.raises(ValueError):
+            comm.send(1, 8)
+        with pytest.raises(ValueError):
+            comm.recv(1, 8)
+
+    def test_zero_iteration_compute_dropped(self):
+        comm = SimComm(0, 2)
+        comm.compute(0, 0)
+        assert comm.events == []
+
+    def test_event_recording_order(self):
+        comm = SimComm(0, 4)
+        comm.compute(7, 100)
+        comm.send(1, 64, tag=3)
+        comm.recv(1, 64, tag=3)
+        comm.allreduce(8)
+        kinds = [type(e).__name__ for e in comm.events]
+        assert kinds == ["ComputeEvent", "SendEvent", "RecvEvent", "CollectiveEvent"]
+
+    def test_sendrecv_orders_send_first(self):
+        comm = SimComm(0, 4)
+        comm.sendrecv(1, 8, 2, 16, tag=5)
+        assert isinstance(comm.events[0], SendEvent)
+        assert isinstance(comm.events[1], RecvEvent)
+        assert comm.events[1].src == 2 and comm.events[1].nbytes == 16
+
+    def test_mpi4py_style_introspection(self):
+        comm = SimComm(2, 8)
+        assert comm.get_rank() == 2 and comm.get_size() == 8
+
+
+class TestRuntime:
+    @staticmethod
+    def ring_fn(comm):
+        right = (comm.rank + 1) % comm.size
+        left = (comm.rank - 1) % comm.size
+        comm.compute(0, 10 * (comm.rank + 1))
+        comm.send(right, 128)
+        comm.recv(left, 128)
+        comm.barrier()
+
+    def test_run_job_structure(self):
+        job = run_job("ring", 4, self.ring_fn)
+        assert job.n_ranks == 4
+        assert all(s.rank == i for i, s in enumerate(job.scripts))
+        assert job.script(2).n_events == 4
+
+    def test_verify_ring_ok(self):
+        verify_job(run_job("ring", 4, self.ring_fn))
+
+    def test_verify_catches_unmatched_send(self):
+        def bad(comm):
+            if comm.rank == 0:
+                comm.send(1, 8)
+
+        with pytest.raises(JobVerificationError, match="unmatched send"):
+            verify_job(run_job("bad", 2, bad))
+
+    def test_verify_catches_unmatched_recv(self):
+        def bad(comm):
+            if comm.rank == 1:
+                comm.recv(0, 8)
+
+        with pytest.raises(JobVerificationError, match="unmatched recv"):
+            verify_job(run_job("bad", 2, bad))
+
+    def test_verify_catches_collective_mismatch(self):
+        def bad(comm):
+            if comm.rank == 0:
+                comm.allreduce(8)
+            else:
+                comm.barrier()
+
+        with pytest.raises(JobVerificationError, match="collective"):
+            verify_job(run_job("bad", 2, bad))
+
+    def test_job_rank_consistency_checked(self):
+        with pytest.raises(ValueError):
+            Job(app="x", n_ranks=2, scripts=[RankScript(rank=0)])
+        with pytest.raises(ValueError):
+            Job(
+                app="x",
+                n_ranks=2,
+                scripts=[RankScript(rank=0), RankScript(rank=0)],
+            )
+
+
+class TestProfiler:
+    def test_slowest_rank_found(self):
+        def fn(comm):
+            comm.compute(0, 100 * (comm.rank + 1))
+            comm.barrier()
+
+        job = run_job("imbalanced", 4, fn)
+        program = (
+            ProgramBuilder("p")
+            .block("work", block_id=0)
+            .load(StridedPattern(region_bytes=4096))
+            .executes(100)
+            .done()
+            .build()
+        )
+        prof = profile_job(job, lambda rank: program)
+        assert prof.slowest_rank() == 3
+        assert prof.load_imbalance() == pytest.approx(4 / 2.5)
+
+    def test_balanced_job(self):
+        def fn(comm):
+            comm.compute(0, 100)
+
+        job = run_job("balanced", 4, fn)
+        program = (
+            ProgramBuilder("p")
+            .block("work", block_id=0)
+            .load(StridedPattern(region_bytes=4096))
+            .executes(100)
+            .done()
+            .build()
+        )
+        prof = profile_job(job, lambda rank: program)
+        assert prof.load_imbalance() == pytest.approx(1.0)
+        assert prof.slowest_rank() == 0  # deterministic tie-break

@@ -1,0 +1,131 @@
+"""Unit tests: units, validation helpers and table rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.tables import Table, format_table
+from repro.util.units import GB, KB, MB, bytes_to_human, human_to_bytes
+from repro.util.validation import (
+    ValidationError,
+    check_finite,
+    check_in_range,
+    check_positive,
+    check_power_of_two,
+)
+
+
+class TestUnits:
+    def test_constants(self):
+        assert KB == 1024 and MB == 1024**2 and GB == 1024**3
+
+    @pytest.mark.parametrize(
+        "n,expected",
+        [
+            (0, "0B"),
+            (512, "512B"),
+            (12 * KB, "12KB"),
+            (1536, "1.5KB"),
+            (56 * KB, "56KB"),
+            (3 * MB, "3MB"),
+            (2 * GB, "2GB"),
+        ],
+    )
+    def test_bytes_to_human(self, n, expected):
+        assert bytes_to_human(n) == expected
+
+    def test_bytes_to_human_rejects_negative(self):
+        with pytest.raises(ValueError):
+            bytes_to_human(-1)
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("56KB", 56 * KB),
+            ("12 kb", 12 * KB),
+            ("1.5KB", 1536),
+            ("4MiB", 4 * MB),
+            ("100", 100),
+            ("7B", 7),
+        ],
+    )
+    def test_human_to_bytes(self, text, expected):
+        assert human_to_bytes(text) == expected
+
+    def test_human_to_bytes_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            human_to_bytes("lots")
+
+    def test_human_to_bytes_rejects_fractional_bytes(self):
+        with pytest.raises(ValueError):
+            human_to_bytes("1.0001KB")
+
+    @given(st.integers(min_value=1, max_value=2**40))
+    def test_round_trip_exact_sizes(self, n):
+        # values that render without decimals must round-trip
+        text = bytes_to_human(n)
+        if "." not in text:
+            assert human_to_bytes(text) == n
+
+
+class TestValidation:
+    def test_check_positive(self):
+        check_positive("x", 1)
+        with pytest.raises(ValidationError):
+            check_positive("x", 0)
+
+    def test_check_in_range_inclusive(self):
+        check_in_range("x", 0.0, 0.0, 1.0)
+        check_in_range("x", 1.0, 0.0, 1.0)
+        with pytest.raises(ValidationError):
+            check_in_range("x", 1.01, 0.0, 1.0)
+
+    def test_check_in_range_exclusive(self):
+        with pytest.raises(ValidationError):
+            check_in_range("x", 0.0, 0.0, 1.0, low_inclusive=False)
+
+    def test_check_power_of_two(self):
+        check_power_of_two("x", 64)
+        for bad in (0, -4, 3, 6, 2.0):
+            with pytest.raises(ValidationError):
+                check_power_of_two("x", bad)
+
+    def test_check_finite(self):
+        check_finite("x", np.ones(3))
+        with pytest.raises(ValidationError):
+            check_finite("x", np.array([1.0, np.nan]))
+        with pytest.raises(ValidationError):
+            check_finite("x", np.inf)
+
+
+class TestTables:
+    def test_basic_rendering(self):
+        t = Table(columns=["a", "bee"], title="T")
+        t.add_row("x", 1)
+        t.add_row("longer", 2.5)
+        out = t.render()
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[2] and "bee" in lines[2]
+        assert "2.500" in out
+
+    def test_row_width_enforced(self):
+        t = Table(columns=["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row("only-one")
+
+    def test_format_table_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [["1"]])
+
+    def test_column_alignment(self):
+        out = format_table(["col"], [["x"], ["longvalue"]])
+        lines = out.splitlines()
+        # all lines padded to the same width
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_format_override(self):
+        t = Table(columns=["v"], float_fmt=".1f")
+        t.add_row(3.14159)
+        assert "3.1" in t.render()
+        assert "3.14" not in t.render()
