@@ -58,3 +58,123 @@ def test_replay_engine_throughput(benchmark):
 
     result = benchmark(lambda: replay_job(job, NullTimer(), net))
     assert result.n_events == 512 * 5 * 4
+
+
+# ----------------------------------------------------------------------
+# end-to-end collection throughput: cold vs memoized
+
+from benchmarks.conftest import RESULTS_DIR  # noqa: E402
+from repro.apps.jacobi import JacobiParams, JacobiProxy  # noqa: E402
+from repro.exec.sigcache import SignatureCache  # noqa: E402
+from repro.instrument.collector import CollectorConfig  # noqa: E402
+from repro.pipeline.collect import CollectionSettings, collect_signature  # noqa: E402
+
+_COLLECT_APP = JacobiProxy(JacobiParams(global_cells=(64, 64, 64), n_steps=2))
+_COLLECT_RANKS = 16
+_COLLECT_SETTINGS = CollectionSettings(
+    collector=CollectorConfig(
+        sample_accesses=50_000, max_sample_accesses=500_000
+    ),
+    workers=0,
+)
+
+
+@pytest.mark.benchmark(group="perf-collect")
+def test_collect_signature_cold(benchmark, bw_machine):
+    """Full collection every round: profile + trace + cache simulation."""
+
+    def run():
+        return collect_signature(
+            _COLLECT_APP, _COLLECT_RANKS, bw_machine.hierarchy, _COLLECT_SETTINGS
+        )
+
+    signature = benchmark(run)
+    assert signature.slowest_trace().n_blocks > 0
+
+
+@pytest.mark.benchmark(group="perf-collect")
+def test_collect_signature_memoized(benchmark, bw_machine, tmp_path):
+    """Warm-cache path: every round is a disk hit, no recollection."""
+    cache = SignatureCache(tmp_path)
+    warm = collect_signature(
+        _COLLECT_APP,
+        _COLLECT_RANKS,
+        bw_machine.hierarchy,
+        _COLLECT_SETTINGS,
+        cache=cache,
+    )
+
+    def run():
+        return collect_signature(
+            _COLLECT_APP,
+            _COLLECT_RANKS,
+            bw_machine.hierarchy,
+            _COLLECT_SETTINGS,
+            cache=cache,
+        )
+
+    signature = benchmark(run)
+    assert cache.stats.hits >= 1
+    assert signature.slowest_trace().n_blocks == warm.slowest_trace().n_blocks
+
+
+def test_record_pipeline_baseline(bw_machine, tmp_path):
+    """Measure the pipeline's perf substrates and persist a trajectory.
+
+    Not a pass/fail benchmark: it writes ``results/BENCH_pipeline.json``
+    so future PRs can diff cache-simulator throughput and collection
+    cold/memoized wall-clock against this PR's numbers.
+    """
+    import json
+    import time
+
+    from repro.util.units import MB
+
+    entry = {"schema": 1, "accesses": 1 << 18}
+
+    for name, pattern in [
+        ("strided", StridedPattern(region_bytes=8 * MB)),
+        ("random", RandomPattern(region_bytes=8 * MB)),
+    ]:
+        addrs = pattern.addresses(0, 1 << 18, stream("perf", name))
+        sim = HierarchySimulator(blue_waters_p1())
+        sim.process(addrs)  # warm the state like the throughput bench
+        best = min(
+            _timed(lambda: sim.process(addrs), time) for _ in range(5)
+        )
+        entry[f"cache_sim_{name}_maccess_per_s"] = round(
+            (1 << 18) / best / 1e6, 3
+        )
+
+    cache = SignatureCache(tmp_path / "sigcache")
+    t0 = time.perf_counter()
+    collect_signature(
+        _COLLECT_APP,
+        _COLLECT_RANKS,
+        bw_machine.hierarchy,
+        _COLLECT_SETTINGS,
+        cache=cache,
+    )
+    entry["collect_cold_s"] = round(time.perf_counter() - t0, 4)
+    t0 = time.perf_counter()
+    collect_signature(
+        _COLLECT_APP,
+        _COLLECT_RANKS,
+        bw_machine.hierarchy,
+        _COLLECT_SETTINGS,
+        cache=cache,
+    )
+    entry["collect_memoized_s"] = round(time.perf_counter() - t0, 4)
+    entry["memoization_speedup"] = round(
+        entry["collect_cold_s"] / max(entry["collect_memoized_s"], 1e-9), 1
+    )
+
+    out = RESULTS_DIR / "BENCH_pipeline.json"
+    out.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
+    print(f"\n===== BENCH_pipeline =====\n{json.dumps(entry, indent=2, sort_keys=True)}\n")
+
+
+def _timed(fn, time_mod):
+    t0 = time_mod.perf_counter()
+    fn()
+    return time_mod.perf_counter() - t0

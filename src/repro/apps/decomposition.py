@@ -9,10 +9,8 @@ imbalance and a well-defined "most computationally demanding task").
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from functools import lru_cache
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro.util.validation import check_positive
 

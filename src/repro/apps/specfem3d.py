@@ -39,12 +39,7 @@ from repro.apps.base import AppModel, ScalingMode
 from repro.apps.decomposition import CartesianDecomposition, factor3
 from repro.instrument.builder import ProgramBuilder
 from repro.instrument.program import Program
-from repro.memstream.patterns import (
-    BlockedPattern,
-    GatherScatterPattern,
-    StencilPattern,
-    StridedPattern,
-)
+from repro.memstream.patterns import BlockedPattern, GatherScatterPattern, StridedPattern
 from repro.simmpi.comm import SimComm
 
 BLOCK_ELEMENT_KERNEL = 0

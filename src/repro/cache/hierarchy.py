@@ -8,7 +8,7 @@ prediction mechanism.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Sequence, Tuple
 
 from repro.cache.geometry import CacheGeometry

@@ -31,12 +31,41 @@ from typing import List, Optional
 from repro.apps.registry import APP_BUILDERS, get_app
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
 from repro.core.extrapolate import extrapolate_trace
+from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
-from repro.pipeline.collect import collect_signature
-from repro.pipeline.experiment import run_table1
+from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.experiment import Table1Config, run_table1
 from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.pipeline.report import table1_report
 from repro.trace.tracefile import TraceFile
+
+
+def _add_exec_flags(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--workers", type=int, default=None, metavar="N",
+        help="process-pool size for collection fan-out "
+             "(default: one per CPU; 0 = serial)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="always collect fresh, bypassing the signature cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="signature cache directory (default: $REPRO_SIGNATURE_CACHE "
+             "or ~/.cache/repro/signatures)",
+    )
+
+
+def _build_cache(args: argparse.Namespace) -> Optional[SignatureCache]:
+    if args.no_cache:
+        return None
+    return SignatureCache(args.cache_dir)
+
+
+def _print_cache_stats(cache: Optional[SignatureCache]) -> None:
+    if cache is not None:
+        print(f"signature cache [{cache.root}]: {cache.stats}")
 
 
 def _parse_counts(text: str) -> List[int]:
@@ -69,8 +98,13 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_collect(args: argparse.Namespace) -> int:
     app = get_app(args.app)
     machine = get_machine(args.machine)
-    signature = collect_signature(app, args.ranks, machine.hierarchy)
+    cache = _build_cache(args)
+    settings = CollectionSettings(workers=args.workers)
+    signature = collect_signature(
+        app, args.ranks, machine.hierarchy, settings, cache=cache
+    )
     signature.save_dir(args.out)
+    _print_cache_stats(cache)
     trace = signature.slowest_trace()
     print(
         f"collected {args.app} @ {args.ranks} ranks against {args.machine}: "
@@ -118,9 +152,15 @@ def cmd_measure(args: argparse.Namespace) -> int:
 
 def cmd_table1(args: argparse.Namespace) -> int:
     app = get_app(args.app)
-    result = run_table1(app, args.train, args.target)
+    cache = _build_cache(args)
+    config = Table1Config(
+        collection=CollectionSettings(workers=args.workers),
+        cache=cache,
+    )
+    result = run_table1(app, args.train, args.target, config)
     print(table1_report(result.rows))
     print(f"measured runtime: {result.measured_runtime_s:.6f} s")
+    _print_cache_stats(cache)
     return 0
 
 
@@ -141,6 +181,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="blue_waters_p1",
                    choices=sorted(MACHINE_BUILDERS))
     p.add_argument("--out", required=True, help="signature output directory")
+    _add_exec_flags(p)
     p.set_defaults(fn=cmd_collect)
 
     p = sub.add_parser("extrapolate", help="synthesize a large-count trace")
@@ -172,6 +213,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--train", required=True, type=_parse_counts,
                    help="comma-separated training core counts")
     p.add_argument("--target", required=True, type=int)
+    _add_exec_flags(p)
     p.set_defaults(fn=cmd_table1)
 
     return parser

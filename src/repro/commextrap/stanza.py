@@ -11,7 +11,7 @@ series kept for fitting.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.simmpi.events import (
     CollectiveEvent,

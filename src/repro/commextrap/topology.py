@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.simmpi.events import RecvEvent, SendEvent
 from repro.simmpi.runtime import Job

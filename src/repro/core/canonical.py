@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Callable, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -27,6 +27,27 @@ from repro.util.validation import check_finite
 _PARSIMONY_RTOL = 1e-6
 #: Cap on the exponent argument to keep exponential evaluation finite.
 _EXP_CLAMP = 60.0
+
+
+def _linear_lsq(t: np.ndarray, y: np.ndarray) -> Optional[Tuple[float, float]]:
+    """Least-squares slope/intercept of ``y ~ a + b*t``, centered.
+
+    Centering makes the normal equations diagonal, so exactly-linear
+    inputs recover their coefficients to ~machine epsilon — unlike a
+    Vandermonde solve, whose conditioning degrades with ``t``'s span.
+    The parsimony tie-break in :func:`fit_all` relies on this: an exact
+    fit must produce an SSE at the floating-point noise floor, not at
+    the solver's truncation error.  Returns ``None`` for degenerate
+    (constant) ``t``.
+    """
+    tm = float(t.mean())
+    ym = float(y.mean())
+    dt = t - tm
+    denom = float(dt @ dt)
+    if denom == 0.0:
+        return None
+    b = float(dt @ (y - ym)) / denom
+    return b, ym - b * tm
 
 
 class CanonicalForm:
@@ -75,7 +96,10 @@ class LinearForm(CanonicalForm):
     complexity = 1
 
     def fit(self, x, y):
-        b, a = np.polyfit(x, y, 1)
+        res = _linear_lsq(x, y)
+        if res is None:
+            return None
+        b, a = res
         return np.array([a, b])
 
     def evaluate(self, params, x):
@@ -95,7 +119,10 @@ class LogarithmicForm(CanonicalForm):
     def fit(self, x, y):
         if np.any(x <= 0):
             return None
-        b, a = np.polyfit(np.log(x), y, 1)
+        res = _linear_lsq(np.log(x), y)
+        if res is None:
+            return None
+        b, a = res
         return np.array([a, b])
 
     def evaluate(self, params, x):
@@ -124,7 +151,10 @@ class ExponentialForm(CanonicalForm):
             sign = -1.0
         else:
             return None
-        b, log_a = np.polyfit(x, np.log(sign * y), 1)
+        res = _linear_lsq(x, np.log(sign * y))
+        if res is None:
+            return None
+        b, log_a = res
         return np.array([sign * math.exp(log_a), b])
 
     def evaluate(self, params, x):
@@ -152,7 +182,10 @@ class PowerForm(CanonicalForm):
             sign = -1.0
         else:
             return None
-        b, log_a = np.polyfit(np.log(x), np.log(sign * y), 1)
+        res = _linear_lsq(np.log(x), np.log(sign * y))
+        if res is None:
+            return None
+        b, log_a = res
         return np.array([sign * math.exp(log_a), b])
 
     def evaluate(self, params, x):
@@ -199,7 +232,10 @@ class InverseForm(CanonicalForm):
     def fit(self, x, y):
         if np.any(x == 0):
             return None
-        b, a = np.polyfit(1.0 / x, y, 1)
+        res = _linear_lsq(1.0 / x, y)
+        if res is None:
+            return None
+        b, a = res
         return np.array([a, b])
 
     def evaluate(self, params, x):
@@ -278,10 +314,16 @@ def fit_all(
     if not results:
         raise ValueError("no canonical form could fit the data")
     # parsimony: every form statistically tied with the best SSE competes
-    # on complexity; the rest follow in SSE order.
+    # on complexity; the rest follow in SSE order.  The absolute slack is
+    # a floating-point noise floor (an exact fit's SSE is at most a few
+    # ulps squared per point), NOT a fraction of the signal energy: a
+    # signal-relative slack would let the constant form swallow real but
+    # tiny slopes.
     scale = float(y @ y)
+    eps = np.finfo(np.float64).eps
+    noise_floor = x.size * (64.0 * eps) ** 2 * max(1.0, scale)
     best_sse = min(r.sse for r in results)
-    threshold = best_sse * (1.0 + _PARSIMONY_RTOL) + scale * 1e-12
+    threshold = best_sse * (1.0 + _PARSIMONY_RTOL) + noise_floor
     tied = sorted(
         (r for r in results if r.sse <= threshold),
         key=lambda r: (r.form.complexity, r.sse),

@@ -17,7 +17,7 @@ library users; nothing in the paper-reproduction path depends on it.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 import numpy as np
 

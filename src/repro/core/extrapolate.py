@@ -22,9 +22,8 @@ conservative in exactly the way the fits are optimistic.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Sequence, Tuple
 
 import numpy as np
 

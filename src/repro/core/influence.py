@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Set, Tuple
 
-from repro.trace.features import FeatureSchema
 from repro.trace.tracefile import TraceFile
 
 #: The paper's influence threshold: 0.1% of task-total operations.

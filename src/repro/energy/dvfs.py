@@ -18,7 +18,7 @@ schedule for 8192 cores designed without ever running there.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Dict, Sequence
 
 from repro.energy.power import EnergyModel
 from repro.util.validation import check_in_range, check_positive

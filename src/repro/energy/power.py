@@ -17,10 +17,9 @@ counts the same way runtime does — from small-count traces only.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, Optional
 
-import numpy as np
 
 from repro.machine.timing import FP_OP_KINDS
 from repro.psins.convolution import ComputationModel

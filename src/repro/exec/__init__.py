@@ -1,0 +1,21 @@
+"""Parallel execution substrate.
+
+Two independent throughput levers for the collection pipeline:
+
+- :mod:`repro.exec.pool` — deterministic process-pool fan-out of
+  independent tasks (rank traces, per-core-count signatures).
+- :mod:`repro.exec.sigcache` — on-disk memoization of collected
+  signatures so repeated experiments and benchmarks skip recollection.
+"""
+
+from repro.exec.pool import in_worker, resolve_workers, run_tasks
+from repro.exec.sigcache import SCHEMA_VERSION, CacheStats, SignatureCache
+
+__all__ = [
+    "CacheStats",
+    "SCHEMA_VERSION",
+    "SignatureCache",
+    "in_worker",
+    "resolve_workers",
+    "run_tasks",
+]

@@ -1,0 +1,171 @@
+"""On-disk memoization of collected application signatures.
+
+Collection is fully deterministic: the trace produced for ``(app,
+n_ranks, hierarchy, CollectorConfig, rng root seed)`` never changes, so
+re-collecting it — the dominant cost of every experiment and benchmark
+— is pure waste.  This cache stores pickled
+:class:`~repro.trace.signature.ApplicationSignature` objects keyed by a
+SHA-256 digest of the full determinism surface plus a schema version
+(bump :data:`SCHEMA_VERSION` whenever collection semantics change and
+every old entry invalidates itself).
+
+Keys are built from ``repr`` of frozen dataclasses, which is stable
+across processes.  Anything whose repr embeds a memory address (the
+``object`` default) is *uncacheable*: the cache refuses to key it
+rather than silently never hitting, and counts the refusal in
+:class:`CacheStats`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.util.rng import DEFAULT_ROOT_SEED
+
+#: bump when collection output semantics change; invalidates all entries
+SCHEMA_VERSION = 1
+
+#: environment override for the cache directory
+ENV_CACHE_ROOT = "REPRO_SIGNATURE_CACHE"
+
+
+def _stable_token(obj) -> Optional[str]:
+    """``repr(obj)`` when stable across processes, else ``None``."""
+    text = repr(obj)
+    if " at 0x" in text:
+        return None
+    return text
+
+
+def app_token(app) -> Optional[str]:
+    """Canonical description of an app proxy's identity.
+
+    App proxies carry their entire configuration in instance attributes
+    (frozen params dataclass + scaling mode), so the class name plus
+    sorted attribute reprs pin down collection output exactly.
+    """
+    parts = [type(app).__name__, getattr(app, "name", "?")]
+    for attr, value in sorted(vars(app).items()):
+        token = _stable_token(value)
+        if token is None:
+            return None
+        parts.append(f"{attr}={token}")
+    return ";".join(parts)
+
+
+@dataclass
+class CacheStats:
+    """Counters for one cache instance's lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    uncacheable: int = 0
+
+    def __str__(self) -> str:
+        return (
+            f"hits={self.hits} misses={self.misses} "
+            f"stores={self.stores} uncacheable={self.uncacheable}"
+        )
+
+
+class SignatureCache:
+    """Directory of pickled signatures, one file per key.
+
+    The default root is ``$REPRO_SIGNATURE_CACHE`` or
+    ``~/.cache/repro/signatures``.  Writes are atomic (temp file +
+    rename), so concurrent processes can share a cache directory; a
+    racing double-store just writes the same bytes twice.
+    """
+
+    def __init__(self, root: Union[str, Path, None] = None):
+        if root is None:
+            root = os.environ.get(ENV_CACHE_ROOT) or (
+                Path.home() / ".cache" / "repro" / "signatures"
+            )
+        self.root = Path(root)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # keying
+
+    def key_for(
+        self,
+        app,
+        n_ranks: int,
+        hierarchy,
+        settings,
+        *,
+        root_seed: int = DEFAULT_ROOT_SEED,
+    ) -> Optional[str]:
+        """Digest of the collection determinism surface, or ``None``.
+
+        ``None`` means some component has no stable identity (e.g. an
+        ad-hoc app object) and the caller must collect uncached.
+        """
+        app_tok = app_token(app)
+        hier_tok = _stable_token(hierarchy)
+        ranks_tok = _stable_token(settings.ranks)
+        coll_tok = _stable_token(settings.collector)
+        if None in (app_tok, hier_tok, ranks_tok, coll_tok):
+            self.stats.uncacheable += 1
+            return None
+        blob = "\n".join(
+            [
+                f"schema={SCHEMA_VERSION}",
+                f"app={app_tok}",
+                f"n_ranks={n_ranks}",
+                f"hierarchy={hier_tok}",
+                f"ranks={ranks_tok}",
+                f"collector={coll_tok}",
+                f"root_seed={root_seed}",
+            ]
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.pkl"
+
+    # ------------------------------------------------------------------
+    # storage
+
+    def get(self, key: Optional[str]):
+        """Cached signature for ``key``, or ``None`` on any miss."""
+        if key is None:
+            return None
+        try:
+            with open(self._path(key), "rb") as fh:
+                sig = pickle.load(fh)
+        except Exception:
+            # a cache entry is disposable: any unreadable/corrupt file —
+            # pickle raises nearly arbitrary exceptions on garbage bytes
+            # (e.g. ValueError from a truncated opcode argument) — is a
+            # miss, never an error
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return sig
+
+    def put(self, key: Optional[str], signature) -> None:
+        """Store ``signature`` under ``key`` atomically (no-op if None)."""
+        if key is None:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "wb") as fh:
+                pickle.dump(signature, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, self._path(key))
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1

@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.memstream.patterns import AccessPattern
 from repro.trace.records import SourceLocation

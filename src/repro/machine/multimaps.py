@@ -15,7 +15,7 @@ benchmark.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 import numpy as np
@@ -26,7 +26,7 @@ from repro.machine.surface import BandwidthSurface
 from repro.machine.timing import HardwareTiming
 from repro.memstream.patterns import StridedPattern
 from repro.util.rng import RngStream, stream
-from repro.util.units import KB, MB
+from repro.util.units import KB
 from repro.util.validation import check_positive
 
 #: Default working-set sweep: 4KB up to 32MB, covering every level of all

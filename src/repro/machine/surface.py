@@ -21,7 +21,6 @@ from probe data rather than read from a datasheet.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 from scipy.optimize import nnls

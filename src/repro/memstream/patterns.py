@@ -18,8 +18,7 @@ output, which the chunked generator relies on.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Optional
+from dataclasses import dataclass
 
 import numpy as np
 

@@ -4,19 +4,29 @@ One call = one application run at one core count on the (simulated) base
 system with PEBIL probes attached: profile all tasks cheaply, pick the
 ranks to trace, and run each traced rank's address stream through the
 target system's cache simulator (Fig. 2).
+
+Collection is embarrassingly parallel at two levels — across traced
+ranks within a run, and across core counts within an experiment — and
+every trace draws its randomness from a keyed RNG stream, so both
+levels fan out over :func:`repro.exec.pool.run_tasks` with bit-for-bit
+serial-identical results.  A :class:`repro.exec.sigcache.SignatureCache`
+short-circuits recollection entirely.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import List, Optional, Sequence, Union
 
 from repro.apps.base import AppModel
 from repro.cache.hierarchy import CacheHierarchy
+from repro.exec.pool import run_tasks
+from repro.exec.sigcache import SignatureCache
 from repro.instrument.collector import CollectorConfig, collect_trace
 from repro.simmpi.profiler import profile_job
 from repro.simmpi.runtime import Job
 from repro.trace.signature import ApplicationSignature
+from repro.trace.tracefile import TraceFile
 from repro.util.rng import stream
 
 
@@ -27,10 +37,38 @@ class CollectionSettings:
     ``ranks`` selects which tasks get full traces: the string
     ``"slowest"`` (the paper's choice), ``"all"`` (needed by the
     clustering extension), or an explicit list of rank ids.
+
+    ``workers`` sizes the process pool used for rank/count fan-out:
+    ``None`` = one per CPU, ``0``/``1`` = serial (the escape hatch).
+    It is execution mechanics, not collection identity, so it is
+    excluded from cache keys.
     """
 
     ranks: Union[str, Sequence[int]] = "slowest"
     collector: CollectorConfig = field(default_factory=CollectorConfig)
+    workers: Optional[int] = None
+
+
+def _collect_rank_trace(
+    app: AppModel,
+    rank: int,
+    n_ranks: int,
+    hierarchy: CacheHierarchy,
+    collector: CollectorConfig,
+) -> TraceFile:
+    """Trace one rank.  Module-level and argument-complete so it can run
+    in a pool worker; the serial path calls the same function, which is
+    what makes parallel/serial identity trivial."""
+    program = app.rank_program(rank, n_ranks)
+    return collect_trace(
+        program,
+        hierarchy,
+        app=app.name,
+        rank=rank,
+        n_ranks=n_ranks,
+        config=collector,
+        rng=stream("collect", app.name, n_ranks, rank, hierarchy.name),
+    )
 
 
 def collect_signature(
@@ -40,6 +78,7 @@ def collect_signature(
     settings: Optional[CollectionSettings] = None,
     *,
     job: Optional[Job] = None,
+    cache: Optional[SignatureCache] = None,
 ) -> ApplicationSignature:
     """Collect an application signature at one core count.
 
@@ -52,11 +91,19 @@ def collect_signature(
     hierarchy:
         *Target-system* hierarchy the hit rates are simulated against.
     settings:
-        Rank selection and collector knobs.
+        Rank selection, collector knobs, and pool size.
     job:
         Pre-built job (to avoid rebuilding when the caller also replays).
+    cache:
+        Optional on-disk memoization; hits skip collection entirely.
     """
     settings = settings or CollectionSettings()
+    key = None
+    if cache is not None:
+        key = cache.key_for(app, n_ranks, hierarchy, settings)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
     if job is None:
         job = app.build_job(n_ranks)
     elif job.n_ranks != n_ranks:
@@ -79,16 +126,66 @@ def collect_signature(
         target=hierarchy.name,
         compute_times=dict(profile.compute_times_s),
     )
-    for rank in trace_ranks:
-        program = app.rank_program(rank, n_ranks)
-        trace = collect_trace(
-            program,
-            hierarchy,
-            app=app.name,
-            rank=rank,
-            n_ranks=n_ranks,
-            config=settings.collector,
-            rng=stream("collect", app.name, n_ranks, rank, hierarchy.name),
-        )
+    traces = run_tasks(
+        _collect_rank_trace,
+        [
+            (app, rank, n_ranks, hierarchy, settings.collector)
+            for rank in trace_ranks
+        ],
+        workers=settings.workers,
+    )
+    for trace in traces:
         signature.add_trace(trace)
+    if cache is not None:
+        cache.put(key, signature)
     return signature
+
+
+def _collect_signature_task(
+    app: AppModel,
+    n_ranks: int,
+    hierarchy: CacheHierarchy,
+    settings: CollectionSettings,
+) -> ApplicationSignature:
+    """One core count's collection, for pool submission (the nested
+    rank-level pool degrades to serial inside a worker)."""
+    return collect_signature(app, n_ranks, hierarchy, settings)
+
+
+def collect_signatures(
+    app: AppModel,
+    counts: Sequence[int],
+    hierarchy: CacheHierarchy,
+    settings: Optional[CollectionSettings] = None,
+    *,
+    cache: Optional[SignatureCache] = None,
+) -> List[ApplicationSignature]:
+    """Collect signatures for several core counts, fanned out as a batch.
+
+    Cache lookups happen in the parent so warm entries never reach the
+    pool; only the misses are (re)collected — concurrently when
+    ``settings.workers`` allows — then stored.  Results are returned in
+    ``counts`` order.
+    """
+    settings = settings or CollectionSettings()
+    results: List[Optional[ApplicationSignature]] = [None] * len(counts)
+    missing: List[int] = []
+    for i, count in enumerate(counts):
+        if cache is not None:
+            sig = cache.get(cache.key_for(app, count, hierarchy, settings))
+            if sig is not None:
+                results[i] = sig
+                continue
+        missing.append(i)
+    collected = run_tasks(
+        _collect_signature_task,
+        [(app, counts[i], hierarchy, settings) for i in missing],
+        workers=settings.workers,
+    )
+    for i, sig in zip(missing, collected):
+        results[i] = sig
+        if cache is not None:
+            cache.put(
+                cache.key_for(app, counts[i], hierarchy, settings), sig
+            )
+    return results

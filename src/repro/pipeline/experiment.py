@@ -14,14 +14,15 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 from repro.apps.base import AppModel
 from repro.core.canonical import CanonicalForm, PAPER_FORMS
 from repro.core.errors import abs_rel_error
 from repro.core.extrapolate import ExtrapolationResult, extrapolate_trace
+from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import get_machine, get_spec
-from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.collect import CollectionSettings, collect_signatures
 from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.psins.ground_truth import GroundTruthConfig
 from repro.trace.tracefile import TraceFile
@@ -37,6 +38,8 @@ class Table1Config:
     ground_truth: GroundTruthConfig = field(default_factory=GroundTruthConfig)
     #: probe budget for the machine profile (MultiMAPS)
     accesses_per_probe: int = 100_000
+    #: optional on-disk signature memoization (None = collect fresh)
+    cache: Optional[SignatureCache] = None
 
 
 @dataclass
@@ -84,26 +87,31 @@ def run_table1(
     )
     spec = get_spec(config.machine)
 
-    # 1. training traces (slowest task at each small core count)
-    training: List[TraceFile] = []
-    for count in sorted(train_counts):
-        sig = collect_signature(
-            app, count, machine.hierarchy, config.collection
-        )
-        training.append(sig.slowest_trace())
+    # 1+3. signatures at every core count — the three training runs and
+    # the target run are independent, so they are collected as one batch
+    # (concurrently when the pool allows, memoized when a cache is set)
+    counts = sorted(train_counts) + [target_count]
+    signatures = collect_signatures(
+        app,
+        counts,
+        machine.hierarchy,
+        config.collection,
+        cache=config.cache,
+    )
+    training: List[TraceFile] = [
+        sig.slowest_trace() for sig in signatures[:-1]
+    ]
+    collected = signatures[-1].slowest_trace()
 
     # 2. extrapolate to the target core count
     extrapolation = extrapolate_trace(
         training, target_count, forms=config.forms
     )
 
-    # 3. collected trace at the target core count (the expensive one the
-    #    methodology is designed to avoid — gathered here to evaluate it)
+    # the collected target trace is the expensive one the methodology is
+    # designed to avoid — gathered anyway to evaluate it (Table I's
+    # "Coll." rows); the replay below shares one rebuilt job
     target_job = app.build_job(target_count)
-    target_sig = collect_signature(
-        app, target_count, machine.hierarchy, config.collection, job=target_job
-    )
-    collected = target_sig.slowest_trace()
 
     # 4. predictions with both trace types (sharing the replayed job)
     pred_extrap = predict_runtime(

@@ -14,10 +14,9 @@ memory and floating-point work (§III-B).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
-import numpy as np
 
 from repro.machine.profile import MachineProfile
 from repro.machine.timing import FP_OP_KINDS

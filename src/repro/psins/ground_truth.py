@@ -20,13 +20,12 @@ feeds the prediction path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, Optional, Sequence
 
-import numpy as np
 
 from repro.cache.hierarchy import CacheHierarchy
 from repro.instrument.pebil import InstrumentedProgram
-from repro.instrument.program import BasicBlockSpec, Program
+from repro.instrument.program import Program
 from repro.machine.network import NetworkParameters
 from repro.machine.timing import FP_OP_KINDS, HardwareTiming
 from repro.memstream.patterns import (

@@ -13,7 +13,7 @@ system suffices in the real pipeline.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict
 
 from repro.instrument.program import BasicBlockSpec, Program
 from repro.simmpi.events import ComputeEvent

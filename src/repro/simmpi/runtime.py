@@ -9,9 +9,9 @@ deadlock-free.
 
 from __future__ import annotations
 
-from collections import Counter, defaultdict
+from collections import Counter
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Callable, List, Tuple
 
 from repro.simmpi.comm import SimComm
 from repro.simmpi.events import CollectiveEvent, ComputeEvent, RecvEvent, SendEvent

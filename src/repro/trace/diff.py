@@ -9,7 +9,7 @@ end-to-end runtime-prediction comparison of Table I.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 import numpy as np
 

@@ -203,3 +203,189 @@ class TestReferenceLevel:
         assert lv.access(64) is False
         assert lv.access(128) is False  # evicts line 0 (LRU)
         assert lv.access(0) is False
+
+
+def _geometry_zoo():
+    """Hierarchies chosen to hit every specialized replay path."""
+    return [
+        # standard nested pow2 (sorted fast path, round replay)
+        tiny_hierarchy(),
+        # direct-mapped at both levels (shifted-compare specialization)
+        CacheHierarchy(
+            [
+                CacheGeometry(1 * KB, line_size=64, associativity=1, name="L1"),
+                CacheGeometry(4 * KB, line_size=64, associativity=1, name="L2"),
+            ],
+            name="direct-mapped",
+        ),
+        # fully-associative L1 (single set: dict-LRU specialization)
+        CacheHierarchy(
+            [
+                CacheGeometry(512, line_size=64, associativity=8, name="L1"),
+                CacheGeometry(4 * KB, line_size=64, associativity=8, name="L2"),
+            ],
+            name="fully-assoc-l1",
+        ),
+        # non-power-of-two set counts (modulo indexing, legacy path)
+        CacheHierarchy(
+            [
+                CacheGeometry(3 * KB, line_size=64, associativity=1, name="L1"),
+                CacheGeometry(12 * KB, line_size=64, associativity=4, name="L2"),
+            ],
+            name="non-pow2",
+        ),
+        # mixed line sizes (nested-set-bits precondition fails)
+        CacheHierarchy(
+            [
+                CacheGeometry(1 * KB, line_size=64, associativity=2, name="L1"),
+                CacheGeometry(4 * KB, line_size=128, associativity=4, name="L2"),
+            ],
+            name="mixed-lines",
+        ),
+        # outward-decreasing set count (nested ordering fails)
+        CacheHierarchy(
+            [
+                CacheGeometry(2 * KB, line_size=64, associativity=2, name="L1"),
+                CacheGeometry(4 * KB, line_size=64, associativity=32, name="L2"),
+            ],
+            name="decreasing-sets",
+        ),
+    ]
+
+
+def _served_levels(hierarchy, addrs, chunk):
+    """Per-access served level via unique per-access instruction ids.
+
+    Tagging access *i* with instruction id *i* turns the per-instruction
+    hit counters into a per-access hit matrix, which pins down the full
+    hit/miss sequence at every level — a much stronger equivalence check
+    than aggregate hit counts.
+    """
+    n = len(addrs)
+    sim = HierarchySimulator(hierarchy)
+    for i in range(0, n, chunk):
+        sub = addrs[i : i + chunk]
+        sim.process(sub, np.arange(i, i + len(sub), dtype=np.int64))
+    result = sim.result()
+    served = np.full(n, len(result.levels), dtype=np.int32)
+    for j in reversed(range(len(result.levels))):
+        hits = result.levels[j].instr_hits
+        idx = np.flatnonzero(hits > 0)
+        served[idx] = j
+    return served, [lv.hits for lv in result.levels]
+
+
+class TestFastPathEquivalence:
+    """The rewritten simulator against the scalar reference, per access.
+
+    Covers every replay specialization (round/dense, direct-mapped,
+    fully-associative, legacy non-nested) x pattern class, on the full
+    miss-stream cascade.
+    """
+
+    @pytest.mark.parametrize(
+        "hierarchy", _geometry_zoo(), ids=lambda h: h.name
+    )
+    @pytest.mark.parametrize(
+        "pattern",
+        [
+            StridedPattern(region_bytes=8 * KB),
+            StridedPattern(region_bytes=16 * KB, stride_elements=8),
+            RandomPattern(region_bytes=32 * KB),
+            GatherScatterPattern(region_bytes=16 * KB, locality=0.6),
+        ],
+        ids=lambda p: type(p).__name__,
+    )
+    def test_served_level_sequence_matches_reference(self, hierarchy, pattern):
+        addrs = pattern.addresses(0, 4000, stream("fastpath", hierarchy.name))
+        served, level_hits = _served_levels(hierarchy, addrs, chunk=997)
+        ref_served, ref_hits = simulate_reference(hierarchy, addrs)
+        np.testing.assert_array_equal(served, ref_served)
+        assert level_hits == ref_hits
+
+    @given(
+        st.integers(min_value=0, max_value=len(_geometry_zoo()) - 1),
+        st.lists(
+            st.integers(min_value=0, max_value=16 * KB - 1),
+            min_size=1,
+            max_size=300,
+        ),
+        st.integers(min_value=1, max_value=97),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_arbitrary_streams_served_levels(self, geo_idx, raw_addrs, chunk):
+        hierarchy = _geometry_zoo()[geo_idx]
+        addrs = np.asarray(raw_addrs, dtype=np.int64)
+        served, level_hits = _served_levels(hierarchy, addrs, chunk)
+        ref_served, ref_hits = simulate_reference(hierarchy, addrs)
+        np.testing.assert_array_equal(served, ref_served)
+        assert level_hits == ref_hits
+
+
+class TestLevelStats:
+    def test_geometric_growth_preserves_counts(self):
+        from repro.cache.simulator import LevelStats
+
+        lv = LevelStats("L1")
+        rng = np.random.default_rng(7)
+        expected_acc = {}
+        expected_hit = {}
+        top = 0
+        # many small records with ever-growing instruction ids: each one
+        # forces the per-instruction arrays to extend
+        for round_no in range(40):
+            top += int(rng.integers(1, 50))
+            idx = rng.integers(0, top, size=20).astype(np.int64)
+            hits = rng.random(20) < 0.5
+            lv.record(idx, hits)
+            for i, h in zip(idx.tolist(), hits.tolist()):
+                expected_acc[i] = expected_acc.get(i, 0) + 1
+                if h:
+                    expected_hit[i] = expected_hit.get(i, 0) + 1
+        for i, count in expected_acc.items():
+            assert lv.instr_accesses[i] == count
+        for i, count in expected_hit.items():
+            assert lv.instr_hits[i] == count
+        assert lv.instr_accesses.sum() == lv.accesses
+        assert lv.instr_hits.sum() == lv.hits
+        # growth is geometric: backing capacity stays within a constant
+        # factor of the live size (the seed's re-concatenation kept it
+        # exactly equal, costing O(n^2) over a run)
+        assert lv._acc_buf.shape[0] <= 4 * lv.instr_accesses.shape[0] + 4
+
+    def test_per_instruction_rates_match_aggregate(self):
+        h = tiny_hierarchy()
+        sim = HierarchySimulator(h)
+        pattern = GatherScatterPattern(region_bytes=8 * KB, locality=0.5)
+        addrs = pattern.addresses(0, 5000, stream("agg-check"))
+        n_instr = 7
+        instr = (np.arange(5000) % n_instr).astype(np.int64)
+        sim.process(addrs, instr)
+        result = sim.result()
+        # per-instruction counters must partition the aggregate exactly
+        for lv in result.levels:
+            assert lv.instr_accesses.sum() == lv.accesses
+            assert lv.instr_hits.sum() == lv.hits
+        # and the access-weighted per-instruction cumulative rates must
+        # reproduce the aggregate cumulative curve
+        mat = result.instruction_cumulative_hit_rates(n_instr)
+        weights = result.levels[0].instr_accesses[:n_instr].astype(float)
+        recomposed = (mat * weights[:, None]).sum(axis=0) / weights.sum()
+        np.testing.assert_allclose(
+            recomposed, result.cumulative_hit_rates(), rtol=1e-12
+        )
+
+    def test_unseen_instructions_have_zero_rates(self):
+        h = tiny_hierarchy()
+        sim = HierarchySimulator(h)
+        sim.process(
+            np.array([0, 64, 0], dtype=np.int64),
+            np.array([2, 2, 2], dtype=np.int64),
+        )
+        mat = sim.result().instruction_cumulative_hit_rates(4)
+        # instructions 0, 1 and 3 never issued an access: all-zero rows,
+        # no division-by-zero fallback artifacts
+        np.testing.assert_array_equal(mat[0], 0.0)
+        np.testing.assert_array_equal(mat[1], 0.0)
+        np.testing.assert_array_equal(mat[3], 0.0)
+        assert mat[2, -1] > 0
