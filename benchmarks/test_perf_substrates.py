@@ -63,7 +63,6 @@ def test_replay_engine_throughput(benchmark):
 # ----------------------------------------------------------------------
 # end-to-end collection throughput: cold vs memoized
 
-from benchmarks.conftest import RESULTS_DIR  # noqa: E402
 from repro.apps.jacobi import JacobiParams, JacobiProxy  # noqa: E402
 from repro.exec.sigcache import SignatureCache  # noqa: E402
 from repro.instrument.collector import CollectorConfig  # noqa: E402
@@ -125,7 +124,6 @@ def test_record_pipeline_baseline(bw_machine, tmp_path):
     so future PRs can diff cache-simulator throughput and collection
     cold/memoized wall-clock against this PR's numbers.
     """
-    import json
     import time
 
     from repro.util.units import MB
@@ -169,9 +167,9 @@ def test_record_pipeline_baseline(bw_machine, tmp_path):
         entry["collect_cold_s"] / max(entry["collect_memoized_s"], 1e-9), 1
     )
 
-    out = RESULTS_DIR / "BENCH_pipeline.json"
-    out.write_text(json.dumps(entry, indent=2, sort_keys=True) + "\n")
-    print(f"\n===== BENCH_pipeline =====\n{json.dumps(entry, indent=2, sort_keys=True)}\n")
+    from benchmarks.conftest import merge_bench
+
+    merge_bench("BENCH_pipeline", entry)
 
 
 def _timed(fn, time_mod):

@@ -38,6 +38,7 @@ from repro.core import (
     EXTENDED_FORMS,
     PAPER_FORMS,
     extrapolate_trace,
+    extrapolate_trace_many,
     fit_best,
     influential_instructions,
 )
@@ -58,6 +59,7 @@ __all__ = [
     "get_machine",
     "collect_signature",
     "extrapolate_trace",
+    "extrapolate_trace_many",
     "fit_best",
     "influential_instructions",
     "PAPER_FORMS",

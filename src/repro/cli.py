@@ -16,6 +16,8 @@ Examples::
     python -m repro collect --app uh3d --ranks 1024 --out sig1024
     python -m repro extrapolate --trace sig1024/rank*.npz --target 8192 \
         --out uh3d-8192.npz
+    python -m repro extrapolate --trace sig1024/rank*.npz \
+        --target 8192,16384,32768 --out uh3d-{target}.npz
     python -m repro predict --app uh3d --ranks 8192 \
         --trace uh3d-8192.npz
     python -m repro table1 --app uh3d --train 1024,2048,4096 --target 8192
@@ -30,7 +32,7 @@ from typing import List, Optional
 
 from repro.apps.registry import APP_BUILDERS, get_app
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
-from repro.core.extrapolate import extrapolate_trace
+from repro.core.extrapolate import extrapolate_trace_many
 from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
 from repro.pipeline.collect import CollectionSettings, collect_signature
@@ -113,17 +115,37 @@ def cmd_collect(args: argparse.Namespace) -> int:
     return 0
 
 
+def _out_path(template: str, target: int, n_targets: int) -> str:
+    """Resolve --out for one target of a sweep.
+
+    With multiple targets the template must contain a ``{target}``
+    placeholder so each synthesized trace gets its own file.
+    """
+    if "{target}" in template:
+        return template.replace("{target}", str(target))
+    if n_targets > 1:
+        raise SystemExit(
+            "--out must contain a {target} placeholder when --target "
+            "lists multiple core counts"
+        )
+    return template
+
+
 def cmd_extrapolate(args: argparse.Namespace) -> int:
     traces = [_load_trace(p) for p in args.trace]
     forms = EXTENDED_FORMS if args.extended_forms else PAPER_FORMS
-    result = extrapolate_trace(traces, args.target, forms=forms)
-    result.trace.save_npz(args.out)
-    hist = dict(result.report.form_histogram())
-    print(
-        f"extrapolated {traces[0].app} "
-        f"{[t.n_ranks for t in sorted(traces, key=lambda t: t.n_ranks)]} -> "
-        f"{args.target} ranks ({hist}) -> {args.out}"
+    sweep = extrapolate_trace_many(
+        traces, args.target, forms=forms, engine=args.engine
     )
+    hist = dict(sweep.report.form_histogram())
+    train = [t.n_ranks for t in sorted(traces, key=lambda t: t.n_ranks)]
+    for result in sweep.results:
+        out = _out_path(args.out, result.target_n_ranks, len(sweep.targets))
+        result.trace.save_npz(out)
+        print(
+            f"extrapolated {traces[0].app} {train} -> "
+            f"{result.target_n_ranks} ranks ({hist}) -> {out}"
+        )
     return 0
 
 
@@ -187,10 +209,18 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("extrapolate", help="synthesize a large-count trace")
     p.add_argument("--trace", required=True, nargs="+",
                    help="training trace files (.npz or .jsonl)")
-    p.add_argument("--target", required=True, type=int)
+    p.add_argument("--target", required=True, type=_parse_counts,
+                   help="target core count, or a comma-separated sweep "
+                        "(fits once, evaluates every target)")
     p.add_argument("--extended-forms", action="store_true",
                    help="include the paper's SVI extension forms")
-    p.add_argument("--out", required=True)
+    p.add_argument("--engine", choices=("batched", "reference"),
+                   default="batched",
+                   help="fitting engine: vectorized batched (default) or "
+                        "the per-element scalar reference")
+    p.add_argument("--out", required=True,
+                   help="output .npz path; with a multi-target sweep it "
+                        "must contain a {target} placeholder")
     p.set_defaults(fn=cmd_extrapolate)
 
     p = sub.add_parser("predict", help="predict runtime from a trace")

@@ -23,9 +23,21 @@ from repro.core.canonical import (
     PAPER_FORMS,
     fit_best,
 )
-from repro.core.fitting import ElementFit, FitReport, fit_feature_series
+from repro.core.batchfit import BatchFitResult, batch_fit_series
+from repro.core.fitting import (
+    BatchedFitReport,
+    ElementFit,
+    FitReport,
+    SweepPrediction,
+    fit_feature_series,
+)
 from repro.core.influence import influential_instructions, InfluenceReport
-from repro.core.extrapolate import ExtrapolationResult, extrapolate_trace
+from repro.core.extrapolate import (
+    ExtrapolationResult,
+    ExtrapolationSweep,
+    extrapolate_trace,
+    extrapolate_trace_many,
+)
 from repro.core.clustering import (
     ClusteredSignature,
     cluster_ranks,
@@ -46,13 +58,19 @@ __all__ = [
     "EXTENDED_FORMS",
     "FitResult",
     "fit_best",
+    "BatchFitResult",
+    "batch_fit_series",
     "ElementFit",
     "FitReport",
+    "BatchedFitReport",
+    "SweepPrediction",
     "fit_feature_series",
     "influential_instructions",
     "InfluenceReport",
     "ExtrapolationResult",
+    "ExtrapolationSweep",
     "extrapolate_trace",
+    "extrapolate_trace_many",
     "ClusteredSignature",
     "cluster_ranks",
     "extrapolate_signature_clustered",

@@ -15,7 +15,6 @@ with mixed-sign values) report an infinite error and drop out.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
@@ -50,6 +49,26 @@ def _linear_lsq(t: np.ndarray, y: np.ndarray) -> Optional[Tuple[float, float]]:
     return b, ym - b * tm
 
 
+def _linear_lsq_batch(
+    t: np.ndarray, Y: np.ndarray
+) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+    """Row-wise twin of :func:`_linear_lsq`: ``Y[i] ~ a[i] + b[i]*t``.
+
+    One centered normal-equation solve for every row of ``Y`` at once;
+    the per-row arithmetic is the same expression sequence as the scalar
+    helper, so batched and scalar coefficients agree to within a few
+    ulps.  Returns ``(b, a)`` vectors, or ``None`` for degenerate ``t``.
+    """
+    tm = float(t.mean())
+    dt = t - tm
+    denom = float(dt @ dt)
+    if denom == 0.0:
+        return None
+    ym = Y.mean(axis=1)
+    b = (Y - ym[:, None]) @ dt / denom
+    return b, ym - b * tm
+
+
 class CanonicalForm:
     """Base class: a parametric y = f(x; params) family."""
 
@@ -70,6 +89,35 @@ class CanonicalForm:
     def describe(self, params: np.ndarray) -> str:
         raise NotImplementedError
 
+    def fit_batch(
+        self, x: np.ndarray, Y: np.ndarray
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Fit every row of ``Y`` against the shared abscissa ``x``.
+
+        Returns ``(params, applicable)``: a ``(n_rows, n_params)`` array
+        and a boolean mask of rows the form can represent.  The base
+        implementation loops the scalar :meth:`fit`, so custom forms work
+        with the batched engine unmodified; built-ins override it with
+        closed-form whole-matrix passes.
+        """
+        rows = [self.fit(x, Y[i]) for i in range(Y.shape[0])]
+        applicable = np.array([p is not None for p in rows], dtype=bool)
+        width = max((p.size for p in rows if p is not None), default=1)
+        params = np.zeros((Y.shape[0], width), dtype=np.float64)
+        for i, p in enumerate(rows):
+            if p is not None:
+                params[i, : p.size] = p
+        return params, applicable
+
+    def evaluate_batch(self, params: np.ndarray, x: np.ndarray) -> np.ndarray:
+        """Evaluate every row's parameters at ``x``: ``(n_rows, len(x))``.
+
+        Base implementation loops :meth:`evaluate`; built-ins override
+        with broadcasting that applies the identical per-entry formula.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        return np.stack([self.evaluate(p, x) for p in params])
+
 
 class ConstantForm(CanonicalForm):
     """y = a."""
@@ -83,6 +131,13 @@ class ConstantForm(CanonicalForm):
 
     def evaluate(self, params, x):
         return np.full_like(np.asarray(x, dtype=np.float64), params[0])
+
+    def fit_batch(self, x, Y):
+        return Y.mean(axis=1)[:, None], np.ones(Y.shape[0], dtype=bool)
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        return np.broadcast_to(params[:, :1], (params.shape[0], x.size))
 
     def describe(self, params):
         return f"y = {params[0]:.6g}"
@@ -104,6 +159,17 @@ class LinearForm(CanonicalForm):
 
     def evaluate(self, params, x):
         return params[0] + params[1] * np.asarray(x, dtype=np.float64)
+
+    def fit_batch(self, x, Y):
+        res = _linear_lsq_batch(x, Y)
+        if res is None:
+            return np.zeros((Y.shape[0], 2)), np.zeros(Y.shape[0], dtype=bool)
+        b, a = res
+        return np.stack([a, b], axis=1), np.ones(Y.shape[0], dtype=bool)
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        return params[:, :1] + params[:, 1:2] * x[None, :]
 
     def describe(self, params):
         return f"y = {params[0]:.6g} + {params[1]:.6g} * x"
@@ -128,6 +194,20 @@ class LogarithmicForm(CanonicalForm):
     def evaluate(self, params, x):
         x = np.asarray(x, dtype=np.float64)
         return params[0] + params[1] * np.log(np.maximum(x, 1e-300))
+
+    def fit_batch(self, x, Y):
+        if np.any(x <= 0):
+            return np.zeros((Y.shape[0], 2)), np.zeros(Y.shape[0], dtype=bool)
+        res = _linear_lsq_batch(np.log(x), Y)
+        if res is None:
+            return np.zeros((Y.shape[0], 2)), np.zeros(Y.shape[0], dtype=bool)
+        b, a = res
+        return np.stack([a, b], axis=1), np.ones(Y.shape[0], dtype=bool)
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        lx = np.log(np.maximum(x, 1e-300))
+        return params[:, :1] + params[:, 1:2] * lx[None, :]
 
     def describe(self, params):
         return f"y = {params[0]:.6g} + {params[1]:.6g} * ln(x)"
@@ -155,12 +235,38 @@ class ExponentialForm(CanonicalForm):
         if res is None:
             return None
         b, log_a = res
-        return np.array([sign * math.exp(log_a), b])
+        # np.exp (not math.exp) so an overflowing amplitude degrades to
+        # inf — rejected by fit_all's finiteness check — instead of
+        # raising OverflowError mid-selection
+        with np.errstate(over="ignore"):
+            return np.array([sign * float(np.exp(log_a)), b])
 
     def evaluate(self, params, x):
         x = np.asarray(x, dtype=np.float64)
         exponent = np.clip(params[1] * x, -_EXP_CLAMP, _EXP_CLAMP)
         return params[0] * np.exp(exponent)
+
+    def fit_batch(self, x, Y):
+        n = Y.shape[0]
+        params = np.zeros((n, 2))
+        pos = np.all(Y > 0, axis=1)
+        applicable = pos | np.all(Y < 0, axis=1)
+        if not np.any(applicable):
+            return params, applicable
+        sign = np.where(pos[applicable], 1.0, -1.0)
+        res = _linear_lsq_batch(x, np.log(sign[:, None] * Y[applicable]))
+        if res is None:
+            return params, np.zeros(n, dtype=bool)
+        b, log_a = res
+        with np.errstate(over="ignore"):
+            params[applicable, 0] = sign * np.exp(log_a)
+        params[applicable, 1] = b
+        return params, applicable
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        exponent = np.clip(params[:, 1:2] * x[None, :], -_EXP_CLAMP, _EXP_CLAMP)
+        return params[:, :1] * np.exp(exponent)
 
     def describe(self, params):
         return f"y = {params[0]:.6g} * exp({params[1]:.6g} * x)"
@@ -186,12 +292,39 @@ class PowerForm(CanonicalForm):
         if res is None:
             return None
         b, log_a = res
-        return np.array([sign * math.exp(log_a), b])
+        with np.errstate(over="ignore"):
+            return np.array([sign * float(np.exp(log_a)), b])
 
     def evaluate(self, params, x):
         x = np.asarray(x, dtype=np.float64)
         with np.errstate(over="ignore"):
             return params[0] * np.power(np.maximum(x, 1e-300), params[1])
+
+    def fit_batch(self, x, Y):
+        n = Y.shape[0]
+        params = np.zeros((n, 2))
+        if np.any(x <= 0):
+            return params, np.zeros(n, dtype=bool)
+        pos = np.all(Y > 0, axis=1)
+        applicable = pos | np.all(Y < 0, axis=1)
+        if not np.any(applicable):
+            return params, applicable
+        sign = np.where(pos[applicable], 1.0, -1.0)
+        res = _linear_lsq_batch(np.log(x), np.log(sign[:, None] * Y[applicable]))
+        if res is None:
+            return params, np.zeros(n, dtype=bool)
+        b, log_a = res
+        with np.errstate(over="ignore"):
+            params[applicable, 0] = sign * np.exp(log_a)
+        params[applicable, 1] = b
+        return params, applicable
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        with np.errstate(over="ignore"):
+            return params[:, :1] * np.power(
+                np.maximum(x, 1e-300)[None, :], params[:, 1:2]
+            )
 
     def describe(self, params):
         return f"y = {params[0]:.6g} * x^{params[1]:.6g}"
@@ -218,6 +351,15 @@ class QuadraticForm(CanonicalForm):
         x = np.asarray(x, dtype=np.float64)
         return params[0] + params[1] * x + params[2] * x * x
 
+    def fit_batch(self, x, Y):
+        # polyfit solves all rows against one shared Vandermonde factorization
+        coeffs = np.polyfit(x, Y.T, 2)
+        return coeffs[::-1].T.copy(), np.ones(Y.shape[0], dtype=bool)
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)[None, :]
+        return params[:, :1] + params[:, 1:2] * x + params[:, 2:3] * x * x
+
     def describe(self, params):
         return f"y = {params[0]:.6g} + {params[1]:.6g}*x + {params[2]:.6g}*x^2"
 
@@ -241,6 +383,20 @@ class InverseForm(CanonicalForm):
     def evaluate(self, params, x):
         x = np.asarray(x, dtype=np.float64)
         return params[0] + params[1] / np.where(x == 0, np.inf, x)
+
+    def fit_batch(self, x, Y):
+        if np.any(x == 0):
+            return np.zeros((Y.shape[0], 2)), np.zeros(Y.shape[0], dtype=bool)
+        res = _linear_lsq_batch(1.0 / x, Y)
+        if res is None:
+            return np.zeros((Y.shape[0], 2)), np.zeros(Y.shape[0], dtype=bool)
+        b, a = res
+        return np.stack([a, b], axis=1), np.ones(Y.shape[0], dtype=bool)
+
+    def evaluate_batch(self, params, x):
+        x = np.asarray(x, dtype=np.float64)
+        safe = np.where(x == 0, np.inf, x)
+        return params[:, :1] + params[:, 1:2] / safe[None, :]
 
     def describe(self, params):
         return f"y = {params[0]:.6g} + {params[1]:.6g} / x"

@@ -9,7 +9,10 @@ that downstream prediction consumes exactly like a collected one.
 
 Predicted values are clamped to each feature's physical bounds (hit
 rates to [0, 1], counts to >= 0); the hit-rate block is additionally
-re-monotonized (cumulative rates cannot decrease outward).
+re-monotonized (cumulative rates cannot decrease outward) and re-clamped
+— every post-pass that can move a value re-checks the bounds, so a
+malformed training series can never push a synthesized rate outside
+[0, 1].
 
 Rate elements also get a *trust region*: the extrapolated change beyond
 the largest training count is capped at ``rate_trust_factor`` times the
@@ -18,17 +21,28 @@ structural reasons (inter-block cache competition) that no canonical
 form can see in three points; an exponential fit through a gently
 accelerating rate otherwise extrapolates straight to 100%.  The cap is
 conservative in exactly the way the fits are optimistic.
+
+Fitting and synthesis run on the batched engine by default (all
+elements as whole-trace array passes; see ``repro.core.batchfit``);
+``engine="reference"`` selects the per-element scalar path the batched
+engine is property-tested against.  :func:`extrapolate_trace_many`
+exposes the multi-target sweep: one fit, many cheap target evaluations
+— the path the Tables II/III what-if benches ride.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.canonical import CanonicalForm, PAPER_FORMS
-from repro.core.fitting import FitReport, fit_feature_series
+from repro.core.fitting import (
+    BatchedFitReport,
+    FitReport,
+    fit_feature_series,
+)
 from repro.trace.records import BasicBlockRecord, InstructionRecord
 from repro.trace.tracefile import TraceFile
 
@@ -40,6 +54,24 @@ class ExtrapolationResult:
     trace: TraceFile
     report: FitReport
     target_n_ranks: int
+
+
+@dataclass
+class ExtrapolationSweep:
+    """Synthesized traces for a whole sweep of targets, from one fit."""
+
+    results: List[ExtrapolationResult]
+    report: FitReport
+    targets: List[int]
+
+    def result_for(self, target: int) -> ExtrapolationResult:
+        for res in self.results:
+            if res.target_n_ranks == target:
+                return res
+        raise KeyError(f"target {target} not in sweep targets {self.targets}")
+
+    def trace_for(self, target: int) -> TraceFile:
+        return self.result_for(target).trace
 
 
 def _check_consistent(traces: Sequence[TraceFile]) -> None:
@@ -65,75 +97,55 @@ def _check_consistent(traces: Sequence[TraceFile]) -> None:
                 )
 
 
-def extrapolate_trace(
-    traces: Sequence[TraceFile],
+def _build_trace(
+    template: TraceFile,
     target_n_ranks: int,
-    *,
-    forms: Sequence[CanonicalForm] = PAPER_FORMS,
-    rank: int = -1,
-    rate_trust_factor: float = 2.0,
-) -> ExtrapolationResult:
-    """Extrapolate a series of small-core-count traces to a large count.
-
-    Parameters
-    ----------
-    traces:
-        Slowest-task trace files at ascending core counts (>= 2; the
-        paper uses 3).
-    target_n_ranks:
-        Core count to synthesize.
-    forms:
-        Canonical forms to select among (paper set by default; pass
-        :data:`~repro.core.canonical.EXTENDED_FORMS` for the §VI
-        extension).
-    rank:
-        Rank id recorded in the synthetic trace (cosmetic; -1 marks
-        "synthetic slowest task").
-    rate_trust_factor:
-        Trust-region width for rate elements, in units of the training
-        range (see module docstring).  ``inf`` disables the cap.
-    """
-    if len(traces) < 2:
-        raise ValueError(
-            f"need at least 2 training traces, got {len(traces)} "
-            "(the paper uses 3)"
-        )
-    traces = sorted(traces, key=lambda t: t.n_ranks)
-    counts = [t.n_ranks for t in traces]
-    if len(set(counts)) != len(counts):
-        raise ValueError(f"duplicate training core counts: {counts}")
-    if target_n_ranks <= 0:
-        raise ValueError(f"target core count must be positive, got {target_n_ranks}")
-    _check_consistent(traces)
-    schema = traces[0].schema
-
-    # assemble per-(block, instr) series across core counts
-    series: Dict[Tuple[int, int], np.ndarray] = {}
-    for bid in sorted(traces[0].blocks):
-        n_instr = traces[0].blocks[bid].n_instructions
-        for k in range(n_instr):
-            rows = [t.blocks[bid].instructions[k].features for t in traces]
-            series[(bid, k)] = np.stack(rows)
-
-    report = fit_feature_series(schema, counts, series, forms)
-
+    rank: int,
+    vectors: Dict[Tuple[int, int], np.ndarray],
+) -> TraceFile:
+    """Assemble a synthetic trace from per-(block, instr) feature rows."""
     out = TraceFile(
-        app=traces[0].app,
+        app=template.app,
         rank=rank,
         n_ranks=target_n_ranks,
-        target=traces[0].target,
-        schema=schema,
+        target=template.target,
+        schema=template.schema,
         extrapolated=True,
     )
+    for bid in sorted(template.blocks):
+        src = template.blocks[bid]
+        block = BasicBlockRecord(block_id=bid, location=src.location)
+        for k, template_ins in enumerate(src.instructions):
+            block.instructions.append(
+                InstructionRecord(
+                    instr_id=template_ins.instr_id,
+                    kind=template_ins.kind,
+                    features=vectors[(bid, k)],
+                )
+            )
+        out.add_block(block)
+    return out
+
+
+def _synthesize_reference(
+    report: FitReport,
+    template: TraceFile,
+    target_n_ranks: int,
+    rate_trust_factor: float,
+) -> Dict[Tuple[int, int], np.ndarray]:
+    """Per-element scalar synthesis (the reference the batched engine
+    must agree with): select, clamp, trust-region cap, re-clamp,
+    monotonize, re-clamp."""
+    schema = template.schema
     hr_slice = schema.hit_rate_slice
-    for bid in sorted(traces[0].blocks):
-        template = traces[0].blocks[bid]
-        block = BasicBlockRecord(block_id=bid, location=template.location)
-        for k, template_ins in enumerate(template.instructions):
+    vectors: Dict[Tuple[int, int], np.ndarray] = {}
+    for bid in sorted(template.blocks):
+        for k in range(template.blocks[bid].n_instructions):
             vec = schema.empty_vector()
             for j, feature in enumerate(schema.fields):
                 fit = report.fit_for(bid, k, feature)
-                value = fit.predict(target_n_ranks, schema.bounds(feature))
+                bounds = schema.bounds(feature)
+                value = fit.predict(target_n_ranks, bounds)
                 if schema.is_rate_field(feature) and np.isfinite(
                     rate_trust_factor
                 ):
@@ -146,17 +158,134 @@ def extrapolate_trace(
                             last + rate_trust_factor * spread,
                         )
                     )
+                    # the trust cap can re-introduce out-of-range values
+                    # when the training series itself strays out of
+                    # bounds — physical bounds always win
+                    value = float(np.clip(value, *bounds))
                 vec[j] = value
             # cumulative hit rates must be non-decreasing outward
-            vec[hr_slice] = np.maximum.accumulate(vec[hr_slice])
-            block.instructions.append(
-                InstructionRecord(
-                    instr_id=template_ins.instr_id,
-                    kind=template_ins.kind,
-                    features=vec,
+            vec[hr_slice] = np.clip(
+                np.maximum.accumulate(vec[hr_slice]), 0.0, 1.0
+            )
+            vectors[(bid, k)] = vec
+    return vectors
+
+
+def extrapolate_trace_many(
+    traces: Sequence[TraceFile],
+    targets: Sequence[int],
+    *,
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+    rank: int = -1,
+    rate_trust_factor: float = 2.0,
+    engine: str = "batched",
+) -> ExtrapolationSweep:
+    """Extrapolate one training series to *many* target core counts.
+
+    Fits every feature element once, then evaluates the fitted models at
+    every target — the multi-target sweep behind the Tables II/III
+    what-if benches, where re-fitting per target would dominate.  With
+    the default batched engine the whole sweep is a handful of array
+    passes; ``engine="reference"`` loops the scalar per-element path
+    once per target (the equivalence baseline).
+
+    Parameters
+    ----------
+    traces:
+        Slowest-task trace files at ascending core counts (>= 2; the
+        paper uses 3).
+    targets:
+        Core counts to synthesize (each positive; order preserved).
+    forms:
+        Canonical forms to select among (paper set by default; pass
+        :data:`~repro.core.canonical.EXTENDED_FORMS` for the §VI
+        extension).
+    rank:
+        Rank id recorded in the synthetic traces (cosmetic; -1 marks
+        "synthetic slowest task").
+    rate_trust_factor:
+        Trust-region width for rate elements, in units of the training
+        range (see module docstring).  ``inf`` disables the cap.
+    """
+    if len(traces) < 2:
+        raise ValueError(
+            f"need at least 2 training traces, got {len(traces)} "
+            "(the paper uses 3)"
+        )
+    targets = [int(t) for t in targets]
+    if not targets:
+        raise ValueError("need at least one target core count")
+    for t in targets:
+        if t <= 0:
+            raise ValueError(f"target core count must be positive, got {t}")
+    traces = sorted(traces, key=lambda t: t.n_ranks)
+    counts = [t.n_ranks for t in traces]
+    if len(set(counts)) != len(counts):
+        raise ValueError(f"duplicate training core counts: {counts}")
+    _check_consistent(traces)
+    schema = traces[0].schema
+    template = traces[0]
+
+    # assemble per-(block, instr) series across core counts
+    series: Dict[Tuple[int, int], np.ndarray] = {}
+    for bid in sorted(template.blocks):
+        n_instr = template.blocks[bid].n_instructions
+        for k in range(n_instr):
+            rows = [t.blocks[bid].instructions[k].features for t in traces]
+            series[(bid, k)] = np.stack(rows)
+
+    report = fit_feature_series(schema, counts, series, forms, engine=engine)
+
+    results: List[ExtrapolationResult] = []
+    if isinstance(report, BatchedFitReport):
+        sweep = report.predict_many(
+            targets, rate_trust_factor=rate_trust_factor
+        )
+        for ti, target in enumerate(targets):
+            vectors = {
+                pair: sweep.values[ti, p].copy()
+                for p, pair in enumerate(sweep.pair_keys)
+            }
+            trace = _build_trace(template, target, rank, vectors)
+            results.append(
+                ExtrapolationResult(
+                    trace=trace, report=report, target_n_ranks=target
                 )
             )
-        out.add_block(block)
-    return ExtrapolationResult(
-        trace=out, report=report, target_n_ranks=target_n_ranks
+    else:
+        for target in targets:
+            vectors = _synthesize_reference(
+                report, template, target, rate_trust_factor
+            )
+            trace = _build_trace(template, target, rank, vectors)
+            results.append(
+                ExtrapolationResult(
+                    trace=trace, report=report, target_n_ranks=target
+                )
+            )
+    return ExtrapolationSweep(results=results, report=report, targets=targets)
+
+
+def extrapolate_trace(
+    traces: Sequence[TraceFile],
+    target_n_ranks: int,
+    *,
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+    rank: int = -1,
+    rate_trust_factor: float = 2.0,
+    engine: str = "batched",
+) -> ExtrapolationResult:
+    """Extrapolate a series of small-core-count traces to a large count.
+
+    Single-target convenience wrapper over
+    :func:`extrapolate_trace_many`; see that function for parameters.
+    """
+    sweep = extrapolate_trace_many(
+        traces,
+        [target_n_ranks],
+        forms=forms,
+        rank=rank,
+        rate_trust_factor=rate_trust_factor,
+        engine=engine,
     )
+    return sweep.results[0]

@@ -9,6 +9,12 @@
 4. predict the runtime with both traces,
 5. measure the "real" runtime via the ground-truth simulator,
 6. report predicted runtimes and % errors for both trace types.
+
+``run_whatif_sweep`` is the design-space companion (§V's "what if we ran
+at N cores?" question asked many times over): collect the training
+series once, fit once, synthesize a trace per target core count via the
+multi-target sweep API, and predict the runtime of each — the
+fit-once/evaluate-many path the Tables II/III benches exercise.
 """
 
 from __future__ import annotations
@@ -19,7 +25,12 @@ from typing import List, Optional, Sequence
 from repro.apps.base import AppModel
 from repro.core.canonical import CanonicalForm, PAPER_FORMS
 from repro.core.errors import abs_rel_error
-from repro.core.extrapolate import ExtrapolationResult, extrapolate_trace
+from repro.core.extrapolate import (
+    ExtrapolationResult,
+    ExtrapolationSweep,
+    extrapolate_trace,
+    extrapolate_trace_many,
+)
 from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import get_machine, get_spec
 from repro.pipeline.collect import CollectionSettings, collect_signatures
@@ -40,6 +51,8 @@ class Table1Config:
     accesses_per_probe: int = 100_000
     #: optional on-disk signature memoization (None = collect fresh)
     cache: Optional[SignatureCache] = None
+    #: fitting engine: "batched" (vectorized) or "reference" (scalar)
+    engine: str = "batched"
 
 
 @dataclass
@@ -105,7 +118,7 @@ def run_table1(
 
     # 2. extrapolate to the target core count
     extrapolation = extrapolate_trace(
-        training, target_count, forms=config.forms
+        training, target_count, forms=config.forms, engine=config.engine
     )
 
     # the collected target trace is the expensive one the methodology is
@@ -148,4 +161,90 @@ def run_table1(
         extrapolation=extrapolation,
         collected_trace=collected,
         measured_runtime_s=measured.runtime_s,
+    )
+
+
+def collect_training_traces(
+    app: AppModel,
+    train_counts: Sequence[int],
+    config: Optional[Table1Config] = None,
+) -> List[TraceFile]:
+    """Collect the slowest-task training series for an extrapolation.
+
+    The collection half of :func:`run_table1` on its own — useful when
+    the same training series feeds many downstream sweeps (Tables
+    II/III) and re-collecting per experiment would dominate.
+    """
+    config = config or Table1Config()
+    machine = get_machine(
+        config.machine, accesses_per_probe=config.accesses_per_probe
+    )
+    signatures = collect_signatures(
+        app,
+        sorted(train_counts),
+        machine.hierarchy,
+        config.collection,
+        cache=config.cache,
+    )
+    return [sig.slowest_trace() for sig in signatures]
+
+
+@dataclass
+class WhatIfRow:
+    """One target core count of a what-if sweep."""
+
+    app: str
+    core_count: int
+    predicted_runtime_s: float
+
+
+@dataclass
+class WhatIfResult:
+    """Predicted runtimes across a sweep of target core counts."""
+
+    rows: List[WhatIfRow]
+    sweep: ExtrapolationSweep
+    training_traces: List[TraceFile]
+
+
+def run_whatif_sweep(
+    app: AppModel,
+    train_counts: Sequence[int],
+    target_counts: Sequence[int],
+    config: Optional[Table1Config] = None,
+    training: Optional[Sequence[TraceFile]] = None,
+) -> WhatIfResult:
+    """Predict runtimes at many target core counts from one training fit.
+
+    Collects the training series (unless ``training`` supplies it),
+    fits every feature element once, synthesizes a trace per target via
+    :func:`~repro.core.extrapolate.extrapolate_trace_many`, and predicts
+    each target's runtime on the configured machine.
+    """
+    config = config or Table1Config()
+    machine = get_machine(
+        config.machine, accesses_per_probe=config.accesses_per_probe
+    )
+    if training is None:
+        training = collect_training_traces(app, train_counts, config)
+    sweep = extrapolate_trace_many(
+        training,
+        target_counts,
+        forms=config.forms,
+        engine=config.engine,
+    )
+    rows = []
+    for result in sweep.results:
+        prediction = predict_runtime(
+            app, result.target_n_ranks, result.trace, machine
+        )
+        rows.append(
+            WhatIfRow(
+                app=app.name,
+                core_count=result.target_n_ranks,
+                predicted_runtime_s=prediction.runtime_s,
+            )
+        )
+    return WhatIfResult(
+        rows=rows, sweep=sweep, training_traces=list(training)
     )

@@ -19,7 +19,7 @@ O(events x ranks).
 
 from __future__ import annotations
 
-from collections import defaultdict, deque
+from collections import deque
 from dataclasses import dataclass
 from typing import Callable, Deque, Dict, Tuple
 
@@ -103,119 +103,168 @@ _COLLECTIVE_COST = {
 }
 
 
+class ReplayEngine:
+    """One replay's scheduler state, inspectable after :meth:`run`.
+
+    All transient bookkeeping lives in plain dicts whose entries are
+    removed as soon as they drain — a matched send deletes its emptied
+    mailbox slot, a satisfied recv its waiter queue, a completed
+    collective both its arrival map and its spec.  On a clean replay
+    every one of ``mailbox``, ``recv_waiters``, ``coll_arrivals``, and
+    ``coll_spec`` ends empty (unmatched sends legitimately leave mailbox
+    residue), so long replays don't accumulate dead entries and tests
+    can assert the bookkeeping drained.
+    """
+
+    def __init__(
+        self,
+        job: Job,
+        timer: ComputationTimer,
+        network: NetworkParameters,
+    ):
+        self.job = job
+        self.timer = timer
+        self.network = network
+        n = job.n_ranks
+        self.scripts = [s.events for s in job.scripts]
+        self.pc = [0] * n
+        self.clock = np.zeros(n)
+        self.compute_time = np.zeros(n)
+        self.comm_time = np.zeros(n)
+        #: (src, dest, tag) -> deque of (available_time, nbytes)
+        self.mailbox: Dict[Tuple[int, int, int], Deque[Tuple[float, int]]] = {}
+        #: ranks blocked on a recv key
+        self.recv_waiters: Dict[Tuple[int, int, int], Deque[int]] = {}
+        #: collective synchronization: per-index arrivals and spec
+        self.coll_index = [0] * n
+        self.coll_arrivals: Dict[int, Dict[int, float]] = {}
+        self.coll_spec: Dict[int, Tuple[str, int]] = {}
+
+    def run(self) -> ReplayResult:
+        job, timer, network = self.job, self.timer, self.network
+        n = job.n_ranks
+        scripts = self.scripts
+        pc = self.pc
+        clock = self.clock
+        compute_time = self.compute_time
+        comm_time = self.comm_time
+        mailbox = self.mailbox
+        recv_waiters = self.recv_waiters
+        coll_index = self.coll_index
+        coll_arrivals = self.coll_arrivals
+        coll_spec = self.coll_spec
+
+        runnable: Deque[int] = deque(range(n))
+        queued = [True] * n
+        done_count = 0
+        n_events = sum(len(s) for s in scripts)
+        send_overhead = network.send_overhead_us * 1e-6
+
+        def wake(rank: int) -> None:
+            if not queued[rank]:
+                queued[rank] = True
+                runnable.append(rank)
+
+        while runnable:
+            r = runnable.popleft()
+            queued[r] = False
+            script = scripts[r]
+            while pc[r] < len(script):
+                ev = script[pc[r]]
+                if isinstance(ev, ComputeEvent):
+                    dt = timer.time_s(r, ev.block_id, ev.iterations)
+                    clock[r] += dt
+                    compute_time[r] += dt
+                    pc[r] += 1
+                elif isinstance(ev, SendEvent):
+                    key = (r, ev.dest, ev.tag)
+                    clock[r] += send_overhead
+                    comm_time[r] += send_overhead
+                    mailbox.setdefault(key, deque()).append(
+                        (clock[r], ev.nbytes)
+                    )
+                    pc[r] += 1
+                    waiters = recv_waiters.get(key)
+                    if waiters:
+                        wake(waiters.popleft())
+                        if not waiters:
+                            del recv_waiters[key]
+                elif isinstance(ev, RecvEvent):
+                    key = (ev.src, r, ev.tag)
+                    box = mailbox.get(key)
+                    if not box:
+                        recv_waiters.setdefault(key, deque()).append(r)
+                        break
+                    avail, nbytes = box.popleft()
+                    if not box:
+                        del mailbox[key]
+                    if nbytes != ev.nbytes:
+                        raise ValueError(
+                            f"message size mismatch on {key}: sent {nbytes}, "
+                            f"receiving {ev.nbytes}"
+                        )
+                    start = clock[r]
+                    finish = max(start, avail) + network.p2p_time_s(nbytes)
+                    comm_time[r] += finish - start
+                    clock[r] = finish
+                    pc[r] += 1
+                elif isinstance(ev, CollectiveEvent):
+                    idx = coll_index[r]
+                    spec = (ev.op, ev.nbytes)
+                    if idx in coll_spec and coll_spec[idx] != spec:
+                        raise ValueError(
+                            f"collective #{idx} mismatch: rank {r} issues "
+                            f"{spec}, others issued {coll_spec[idx]}"
+                        )
+                    coll_spec[idx] = spec
+                    arrivals = coll_arrivals.setdefault(idx, {})
+                    arrivals[r] = clock[r]
+                    coll_index[r] += 1
+                    if len(arrivals) < n:
+                        break  # blocked until the last rank arrives
+                    cost = _COLLECTIVE_COST[ev.op](network, n, ev.nbytes)
+                    finish = max(arrivals.values()) + cost
+                    for rank, arrived in arrivals.items():
+                        comm_time[rank] += finish - arrived
+                        clock[rank] = finish
+                        pc[rank] += 1
+                        if rank != r:
+                            wake(rank)
+                    # every rank has passed this collective; its
+                    # bookkeeping can never be consulted again
+                    del coll_arrivals[idx]
+                    del coll_spec[idx]
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown event type {type(ev)!r}")
+            else:
+                done_count += 1
+
+        if done_count < n:
+            stuck = [r for r in range(n) if pc[r] < len(scripts[r])]
+            detail = ", ".join(
+                f"rank {r} at event {pc[r]}/{len(scripts[r])} "
+                f"({type(scripts[r][pc[r]]).__name__})"
+                for r in stuck[:5]
+            )
+            raise ReplayDeadlockError(
+                f"replay of {job.app} deadlocked with {len(stuck)} rank(s) "
+                f"blocked: {detail}"
+            )
+
+        return ReplayResult(
+            app=job.app,
+            n_ranks=n,
+            runtime_s=float(clock.max()) if n else 0.0,
+            compute_time_s=compute_time,
+            comm_time_s=comm_time,
+            n_events=n_events,
+        )
+
+
 def replay_job(
     job: Job,
     timer: ComputationTimer,
     network: NetworkParameters,
 ) -> ReplayResult:
     """Replay a job's event traces; return the predicted runtime."""
-    n = job.n_ranks
-    scripts = [s.events for s in job.scripts]
-    pc = [0] * n
-    clock = np.zeros(n)
-    compute_time = np.zeros(n)
-    comm_time = np.zeros(n)
-    # (src, dest, tag) -> deque of (available_time, nbytes)
-    mailbox: Dict[Tuple[int, int, int], Deque[Tuple[float, int]]] = defaultdict(deque)
-    # ranks blocked on a recv key
-    recv_waiters: Dict[Tuple[int, int, int], Deque[int]] = defaultdict(deque)
-    # collective synchronization: per-index arrivals
-    coll_index = [0] * n
-    coll_arrivals: Dict[int, Dict[int, float]] = defaultdict(dict)
-    coll_spec: Dict[int, Tuple[str, int]] = {}
-
-    runnable: Deque[int] = deque(range(n))
-    queued = [True] * n
-    done_count = 0
-    n_events = sum(len(s) for s in scripts)
-    send_overhead = network.send_overhead_us * 1e-6
-
-    def wake(rank: int) -> None:
-        if not queued[rank]:
-            queued[rank] = True
-            runnable.append(rank)
-
-    while runnable:
-        r = runnable.popleft()
-        queued[r] = False
-        script = scripts[r]
-        while pc[r] < len(script):
-            ev = script[pc[r]]
-            if isinstance(ev, ComputeEvent):
-                dt = timer.time_s(r, ev.block_id, ev.iterations)
-                clock[r] += dt
-                compute_time[r] += dt
-                pc[r] += 1
-            elif isinstance(ev, SendEvent):
-                key = (r, ev.dest, ev.tag)
-                clock[r] += send_overhead
-                comm_time[r] += send_overhead
-                mailbox[key].append((clock[r], ev.nbytes))
-                pc[r] += 1
-                if recv_waiters[key]:
-                    wake(recv_waiters[key].popleft())
-            elif isinstance(ev, RecvEvent):
-                key = (ev.src, r, ev.tag)
-                box = mailbox[key]
-                if not box:
-                    recv_waiters[key].append(r)
-                    break
-                avail, nbytes = box.popleft()
-                if nbytes != ev.nbytes:
-                    raise ValueError(
-                        f"message size mismatch on {key}: sent {nbytes}, "
-                        f"receiving {ev.nbytes}"
-                    )
-                start = clock[r]
-                finish = max(start, avail) + network.p2p_time_s(nbytes)
-                comm_time[r] += finish - start
-                clock[r] = finish
-                pc[r] += 1
-            elif isinstance(ev, CollectiveEvent):
-                idx = coll_index[r]
-                spec = (ev.op, ev.nbytes)
-                if idx in coll_spec and coll_spec[idx] != spec:
-                    raise ValueError(
-                        f"collective #{idx} mismatch: rank {r} issues {spec}, "
-                        f"others issued {coll_spec[idx]}"
-                    )
-                coll_spec[idx] = spec
-                arrivals = coll_arrivals[idx]
-                arrivals[r] = clock[r]
-                coll_index[r] += 1
-                if len(arrivals) < n:
-                    break  # blocked until the last rank arrives
-                cost = _COLLECTIVE_COST[ev.op](network, n, ev.nbytes)
-                finish = max(arrivals.values()) + cost
-                for rank, arrived in arrivals.items():
-                    comm_time[rank] += finish - arrived
-                    clock[rank] = finish
-                    pc[rank] += 1
-                    if rank != r:
-                        wake(rank)
-                del coll_arrivals[idx]
-            else:  # pragma: no cover - defensive
-                raise TypeError(f"unknown event type {type(ev)!r}")
-        else:
-            done_count += 1
-
-    if done_count < n:
-        stuck = [r for r in range(n) if pc[r] < len(scripts[r])]
-        detail = ", ".join(
-            f"rank {r} at event {pc[r]}/{len(scripts[r])} "
-            f"({type(scripts[r][pc[r]]).__name__})"
-            for r in stuck[:5]
-        )
-        raise ReplayDeadlockError(
-            f"replay of {job.app} deadlocked with {len(stuck)} rank(s) blocked: "
-            f"{detail}"
-        )
-
-    return ReplayResult(
-        app=job.app,
-        n_ranks=n,
-        runtime_s=float(clock.max()) if n else 0.0,
-        compute_time_s=compute_time,
-        comm_time_s=comm_time,
-        n_events=n_events,
-    )
+    return ReplayEngine(job, timer, network).run()

@@ -107,6 +107,51 @@ class TestCli:
         mem = loaded.blocks[0].instructions[0].features[SCHEMA.index("mem_ops")]
         assert mem == pytest.approx(5e8 / 64, rel=1e-3)
 
+    def _save_training(self, tmp_path):
+        paths = []
+        for p in (8, 16, 32):
+            t = synth_trace(p)
+            path = tmp_path / f"t{p}.npz"
+            t.save_npz(path)
+            paths.append(str(path))
+        return paths
+
+    def test_extrapolate_multi_target_sweep(self, tmp_path, capsys):
+        paths = self._save_training(tmp_path)
+        rc = main(
+            ["extrapolate", "--trace", *paths, "--target", "64,128,256",
+             "--out", str(tmp_path / "sweep-{target}.npz")]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        for target in (64, 128, 256):
+            loaded = TraceFile.load_npz(tmp_path / f"sweep-{target}.npz")
+            assert loaded.extrapolated and loaded.n_ranks == target
+            assert f"sweep-{target}.npz" in out
+
+    def test_extrapolate_multi_target_needs_placeholder(self, tmp_path):
+        paths = self._save_training(tmp_path)
+        with pytest.raises(SystemExit):
+            main(
+                ["extrapolate", "--trace", *paths, "--target", "64,128",
+                 "--out", str(tmp_path / "one.npz")]
+            )
+
+    def test_extrapolate_engine_flag(self, tmp_path):
+        paths = self._save_training(tmp_path)
+        outs = {}
+        for engine in ("batched", "reference"):
+            out_path = tmp_path / f"{engine}.npz"
+            rc = main(
+                ["extrapolate", "--trace", *paths, "--target", "128",
+                 "--engine", engine, "--out", str(out_path)]
+            )
+            assert rc == 0
+            outs[engine] = TraceFile.load_npz(out_path)
+        a = outs["batched"].blocks[0].instructions[0].features
+        b = outs["reference"].blocks[0].instructions[0].features
+        np.testing.assert_allclose(a, b, rtol=1e-9)
+
     def test_bad_train_list_rejected(self):
         with pytest.raises(SystemExit):
             main(["table1", "--app", "jacobi", "--train", "a,b", "--target", "8"])

@@ -5,7 +5,7 @@ import pytest
 
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
 from repro.core.errors import abs_rel_error, percent, signed_rel_error
-from repro.core.extrapolate import extrapolate_trace
+from repro.core.extrapolate import extrapolate_trace, extrapolate_trace_many
 from repro.core.fitting import fit_feature_series
 from repro.core.influence import influential_instructions
 from repro.trace.features import FeatureSchema
@@ -181,6 +181,87 @@ class TestExtrapolateTrace:
     def test_bad_target(self):
         with pytest.raises(ValueError):
             extrapolate_trace(TRAIN, 0)
+
+    @pytest.mark.parametrize("engine", ["batched", "reference"])
+    def test_saturating_rate_series_stays_bounded(self, engine):
+        """Regression: the rate trust region must not resurrect
+        out-of-bounds values.
+
+        A loaded trace can carry rate values slightly above 1 (nothing
+        validates them at load time).  The bounds clamp fixes the
+        prediction to 1.0, but the trust region's lower edge
+        ``last - factor*spread`` sits *above* 1 for such a series, so
+        the cap used to push the value back out of range — and
+        ``np.maximum.accumulate`` then propagated it outward through
+        the hierarchy.  Both engines must re-clamp after the cap and
+        after monotonization.
+        """
+        train = []
+        for p in (1024, 2048, 4096):
+            t = synthetic_trace(p)
+            for block in t.blocks.values():
+                for ins in block.instructions:
+                    # constant saturating series just above the bound:
+                    # spread = 0, so the trust region degenerates to
+                    # {1.05}, above the [0, 1] range
+                    ins.features[SCHEMA.index("hit_rate_L1")] = 1.05
+            train.append(t)
+        res = extrapolate_trace(train, 8192, engine=engine)
+        for block in res.trace.blocks.values():
+            for ins in block.instructions:
+                rates = SCHEMA.hit_rates(ins.features)
+                assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
+                assert np.all(np.diff(rates) >= 0)
+
+    def test_selection_is_pure(self):
+        """Regression: predicting at a target must not change diagnostics."""
+        res = extrapolate_trace(TRAIN, 8192)
+        before = res.report.form_histogram()
+        fit = res.report.fit_for(0, 0, "exec_count")
+        errs_before = fit.training_max_rel_error()
+        # predictions at adversarial targets used to mutate the stored
+        # selection; the histogram and residuals must not move
+        for target in (2, 8192, 10**9):
+            fit.predict(target, SCHEMA.bounds("exec_count"))
+            fit.select_for_target(target, SCHEMA.bounds("exec_count"))
+        assert res.report.form_histogram() == before
+        assert fit.training_max_rel_error() == errs_before
+        assert fit.fit is fit.candidates[0]
+
+
+class TestExtrapolateTraceMany:
+    def test_sweep_matches_single_calls(self):
+        targets = [8192, 16384, 32768]
+        sweep = extrapolate_trace_many(TRAIN, targets)
+        assert sweep.targets == targets
+        for target in targets:
+            single = extrapolate_trace(TRAIN, target).trace
+            multi = sweep.trace_for(target)
+            assert multi.n_ranks == target
+            assert multi.extrapolated is True
+            for bid in multi.blocks:
+                for a, b in zip(
+                    multi.blocks[bid].instructions,
+                    single.blocks[bid].instructions,
+                ):
+                    assert np.array_equal(a.features, b.features)
+
+    def test_one_report_shared(self):
+        sweep = extrapolate_trace_many(TRAIN, [8192, 16384])
+        assert all(r.report is sweep.report for r in sweep.results)
+
+    def test_unknown_target_rejected(self):
+        sweep = extrapolate_trace_many(TRAIN, [8192])
+        with pytest.raises(KeyError):
+            sweep.trace_for(999)
+
+    def test_empty_targets_rejected(self):
+        with pytest.raises(ValueError):
+            extrapolate_trace_many(TRAIN, [])
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ValueError):
+            extrapolate_trace_many(TRAIN, [8192, -1])
 
 
 class TestInfluence:

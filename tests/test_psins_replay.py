@@ -209,3 +209,79 @@ class TestResultMetrics:
         res = replay_job(job, FixedTimer(), NET)
         assert res.runtime_s > 3 * 50e-6
         assert res.n_events == 32 * 3 * 6
+
+
+class TestBookkeepingDrains:
+    """Regression: long replays must not accumulate dead scheduler state.
+
+    ``coll_spec`` entries used to live forever, and defaultdict lookups
+    on the send/recv paths materialized empty deques for every key ever
+    probed.  The engine now deletes bookkeeping as it drains, so after a
+    clean replay every transient structure is empty.
+    """
+
+    def _run_engine(self, job):
+        from repro.psins.replay import ReplayEngine
+
+        engine = ReplayEngine(job, FixedTimer(), NET)
+        engine.run()
+        return engine
+
+    def test_collective_state_freed(self):
+        def fn(comm):
+            for _ in range(20):
+                comm.compute(0, comm.rank + 1)
+                comm.allreduce(8)
+                comm.barrier()
+
+        engine = self._run_engine(run_job("colls", 4, fn))
+        assert engine.coll_spec == {}
+        assert engine.coll_arrivals == {}
+
+    def test_matched_p2p_state_freed(self):
+        def fn(comm):
+            peer = comm.rank ^ 1
+            for it in range(50):
+                if comm.rank % 2 == 0:
+                    comm.send(peer, 64, tag=it)
+                    comm.recv(peer, 64, tag=it)
+                else:
+                    comm.recv(peer, 64, tag=it)
+                    comm.send(peer, 64, tag=it)
+
+        engine = self._run_engine(run_job("pingpong", 4, fn))
+        # every send was consumed, every waiter was woken
+        assert engine.mailbox == {}
+        assert engine.recv_waiters == {}
+
+    def test_probing_recv_leaves_no_empty_queues(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.compute(0, 100)
+                comm.send(1, 8)
+            else:
+                comm.recv(0, 8)  # blocks: key probed before message exists
+
+        engine = self._run_engine(run_job("probe", 2, fn))
+        assert engine.mailbox == {}
+        assert engine.recv_waiters == {}
+
+    def test_unmatched_send_is_the_only_residue(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.send(1, 8)  # never received
+
+        engine = self._run_engine(run_job("orphan", 2, fn))
+        assert list(engine.mailbox) == [(0, 1, 0)]
+        assert engine.recv_waiters == {}
+
+    def test_replay_job_unchanged_semantics(self):
+        def fn(comm):
+            if comm.rank == 0:
+                comm.compute(0, 100)
+                comm.send(1, 0)
+            else:
+                comm.recv(0, 0)
+
+        res = replay_job(run_job("p2p", 2, fn), FixedTimer(), NET)
+        assert res.runtime_s == pytest.approx(101e-6)
