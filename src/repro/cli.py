@@ -21,11 +21,19 @@ Examples::
     python -m repro predict --app uh3d --ranks 8192 \
         --trace uh3d-8192.npz
     python -m repro table1 --app uh3d --train 1024,2048,4096 --target 8192
+
+Robustness: ``--task-timeout``/``--max-retries`` switch collection to
+the fault-tolerant executor, ``--checkpoint-dir``/``--resume``
+checkpoint and resume multi-unit runs, and any recovery events are
+summarized after the results.  Invalid inputs (unknown app or machine,
+malformed count lists, unwritable output paths) exit with status 2 and
+a one-line message — never a traceback.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -33,13 +41,97 @@ from typing import List, Optional
 from repro.apps.registry import APP_BUILDERS, get_app
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
 from repro.core.extrapolate import extrapolate_trace_many
+from repro.exec.resilience import ResilienceConfig, RunReport
 from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
-from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.collect import CollectionSettings, collect_signatures
 from repro.pipeline.experiment import Table1Config, run_table1
+from repro.pipeline.journal import RunJournal, default_journal_path
 from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.pipeline.report import table1_report
 from repro.trace.tracefile import TraceFile
+from repro.util.errors import ReproError, UsageError
+
+
+# ----------------------------------------------------------------------
+# up-front input validation (exit 2, one line, no traceback)
+
+
+def _resolve_app(name: str):
+    try:
+        return get_app(name)
+    except KeyError:
+        known = ", ".join(sorted(APP_BUILDERS))
+        raise UsageError(
+            f"unknown application {name!r}; known apps: {known} "
+            "(see `repro list`)"
+        )
+
+
+def _check_machine(name: str) -> str:
+    if name not in MACHINE_BUILDERS:
+        known = ", ".join(sorted(MACHINE_BUILDERS))
+        raise UsageError(
+            f"unknown machine {name!r}; known machines: {known} "
+            "(see `repro list`)"
+        )
+    return name
+
+
+def _nearest_existing_dir(path: Path) -> Path:
+    path = path.absolute()
+    for candidate in [path, *path.parents]:
+        if candidate.exists():
+            return candidate
+    return Path("/")  # pragma: no cover - "/" always exists
+
+
+def _check_writable(flag: str, target: str, *, is_dir: bool) -> str:
+    """Fail fast when ``target`` cannot possibly be written.
+
+    For files the parent directory must be creatable/writable; for
+    directories the nearest existing ancestor must be writable.
+    """
+    path = Path(target)
+    probe = _nearest_existing_dir(path if is_dir else path.parent)
+    if not os.access(probe, os.W_OK):
+        raise UsageError(
+            f"{flag} path {target!r} is not writable "
+            f"(no write permission on {str(probe)!r})"
+        )
+    if not is_dir and path.exists() and path.is_dir():
+        raise UsageError(f"{flag} path {target!r} is a directory, not a file")
+    return target
+
+
+def _parse_counts(text: str) -> List[int]:
+    try:
+        counts = [int(c) for c in text.split(",") if c.strip()]
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"bad core-count list {text!r} (expected comma-separated "
+            "integers, e.g. 1024,2048,4096)"
+        )
+    if not counts:
+        raise argparse.ArgumentTypeError("empty core-count list")
+    if any(c <= 0 for c in counts):
+        raise argparse.ArgumentTypeError(
+            f"core counts must be positive, got {counts}"
+        )
+    return counts
+
+
+def _load_trace(path: str) -> TraceFile:
+    p = Path(path)
+    if not p.exists():
+        raise UsageError(f"trace file {path!r} does not exist")
+    if p.suffix == ".jsonl":
+        return TraceFile.load_jsonl(p)
+    return TraceFile.load_npz(p)
+
+
+# ----------------------------------------------------------------------
+# shared flag groups and their interpretation
 
 
 def _add_exec_flags(p: argparse.ArgumentParser) -> None:
@@ -57,12 +149,79 @@ def _add_exec_flags(p: argparse.ArgumentParser) -> None:
         help="signature cache directory (default: $REPRO_SIGNATURE_CACHE "
              "or ~/.cache/repro/signatures)",
     )
+    p.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="per-attempt wall-clock budget for a pooled collection task; "
+             "a hung task is killed with its pool and re-attempted",
+    )
+    p.add_argument(
+        "--max-retries", type=int, default=None, metavar="N",
+        help="additional attempts per task after a crash, timeout, or "
+             "transient error (enables the fault-tolerant executor; "
+             "default 2 when --task-timeout is given)",
+    )
+    p.add_argument(
+        "--checkpoint-dir", default=None, metavar="DIR",
+        help="journal completed collection units here so an interrupted "
+             "run can be resumed (default with --resume: <cache>/journal)",
+    )
+    p.add_argument(
+        "--resume", action="store_true",
+        help="skip units journaled by a previous run of this command "
+             "(requires the signature cache that run wrote)",
+    )
 
 
 def _build_cache(args: argparse.Namespace) -> Optional[SignatureCache]:
     if args.no_cache:
         return None
+    if args.cache_dir is not None:
+        _check_writable("--cache-dir", args.cache_dir, is_dir=True)
     return SignatureCache(args.cache_dir)
+
+
+def _build_resilience(args: argparse.Namespace) -> Optional[ResilienceConfig]:
+    if args.task_timeout is None and args.max_retries is None:
+        return None
+    if args.task_timeout is not None and args.task_timeout <= 0:
+        raise UsageError(
+            f"--task-timeout must be positive, got {args.task_timeout}"
+        )
+    if args.max_retries is not None and args.max_retries < 0:
+        raise UsageError(
+            f"--max-retries must be >= 0, got {args.max_retries}"
+        )
+    kwargs = {"task_timeout_s": args.task_timeout}
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    return ResilienceConfig(**kwargs)
+
+
+def _build_journal(
+    args: argparse.Namespace,
+    cache: Optional[SignatureCache],
+    run_name: str,
+) -> Optional[RunJournal]:
+    checkpoint_dir = args.checkpoint_dir
+    if checkpoint_dir is None:
+        if not args.resume:
+            return None
+        if cache is None:
+            raise UsageError(
+                "--resume needs a checkpoint journal: pass --checkpoint-dir "
+                "(and do not combine --resume with --no-cache)"
+            )
+        checkpoint_dir = cache.root / "journal"
+    else:
+        _check_writable("--checkpoint-dir", str(checkpoint_dir), is_dir=True)
+    if args.resume and cache is None:
+        raise UsageError(
+            "--resume replays completed units from the signature cache; "
+            "it cannot be combined with --no-cache"
+        )
+    return RunJournal(
+        default_journal_path(checkpoint_dir, run_name), resume=args.resume
+    )
 
 
 def _print_cache_stats(cache: Optional[SignatureCache]) -> None:
@@ -70,21 +229,19 @@ def _print_cache_stats(cache: Optional[SignatureCache]) -> None:
         print(f"signature cache [{cache.root}]: {cache.stats}")
 
 
-def _parse_counts(text: str) -> List[int]:
-    try:
-        counts = [int(c) for c in text.split(",") if c.strip()]
-    except ValueError:
-        raise argparse.ArgumentTypeError(f"bad core-count list: {text!r}")
-    if not counts:
-        raise argparse.ArgumentTypeError("empty core-count list")
-    return counts
+def _print_run_health(
+    report: Optional[RunReport], journal: Optional[RunJournal]
+) -> None:
+    if journal is not None:
+        print(f"checkpoint journal [{journal.path}]: {journal.stats}")
+    if report is not None and not report.clean:
+        print(f"resilience: {report.summary()}")
+        for event in report.events:
+            print(f"  - {event}")
 
 
-def _load_trace(path: str) -> TraceFile:
-    p = Path(path)
-    if p.suffix == ".jsonl":
-        return TraceFile.load_jsonl(p)
-    return TraceFile.load_npz(p)
+# ----------------------------------------------------------------------
+# commands
 
 
 def cmd_list(args: argparse.Namespace) -> int:
@@ -98,15 +255,24 @@ def cmd_list(args: argparse.Namespace) -> int:
 
 
 def cmd_collect(args: argparse.Namespace) -> int:
-    app = get_app(args.app)
-    machine = get_machine(args.machine)
+    app = _resolve_app(args.app)
+    machine = get_machine(_check_machine(args.machine))
+    _check_writable("--out", args.out, is_dir=True)
     cache = _build_cache(args)
-    settings = CollectionSettings(workers=args.workers)
-    signature = collect_signature(
-        app, args.ranks, machine.hierarchy, settings, cache=cache
+    journal = _build_journal(
+        args, cache, f"collect-{args.app}-{args.machine}-{args.ranks}"
     )
+    report = RunReport()
+    settings = CollectionSettings(
+        workers=args.workers, resilience=_build_resilience(args)
+    )
+    signature = collect_signatures(
+        app, [args.ranks], machine.hierarchy, settings,
+        cache=cache, journal=journal, report=report,
+    )[0]
     signature.save_dir(args.out)
     _print_cache_stats(cache)
+    _print_run_health(report, journal)
     trace = signature.slowest_trace()
     print(
         f"collected {args.app} @ {args.ranks} ranks against {args.machine}: "
@@ -132,6 +298,7 @@ def _out_path(template: str, target: int, n_targets: int) -> str:
 
 
 def cmd_extrapolate(args: argparse.Namespace) -> int:
+    _check_writable("--out", args.out, is_dir=False)
     traces = [_load_trace(p) for p in args.trace]
     forms = EXTENDED_FORMS if args.extended_forms else PAPER_FORMS
     sweep = extrapolate_trace_many(
@@ -150,8 +317,8 @@ def cmd_extrapolate(args: argparse.Namespace) -> int:
 
 
 def cmd_predict(args: argparse.Namespace) -> int:
-    app = get_app(args.app)
-    machine = get_machine(args.machine)
+    app = _resolve_app(args.app)
+    machine = get_machine(_check_machine(args.machine))
     trace = _load_trace(args.trace)
     prediction = predict_runtime(app, args.ranks, trace, machine)
     kind = "extrapolated" if trace.extrapolated else "collected"
@@ -163,8 +330,8 @@ def cmd_predict(args: argparse.Namespace) -> int:
 
 
 def cmd_measure(args: argparse.Namespace) -> int:
-    app = get_app(args.app)
-    result = measure_runtime(app, args.ranks, get_spec(args.machine))
+    app = _resolve_app(args.app)
+    result = measure_runtime(app, args.ranks, get_spec(_check_machine(args.machine)))
     print(
         f"{args.app} @ {args.ranks} ranks on {args.machine}: "
         f"measured runtime {result.runtime_s:.6f} s"
@@ -173,16 +340,27 @@ def cmd_measure(args: argparse.Namespace) -> int:
 
 
 def cmd_table1(args: argparse.Namespace) -> int:
-    app = get_app(args.app)
+    app = _resolve_app(args.app)
+    _check_machine(args.machine)
     cache = _build_cache(args)
+    train = ",".join(str(c) for c in args.train)
+    journal = _build_journal(
+        args, cache,
+        f"table1-{args.app}-{args.machine}-{train}-{args.target}",
+    )
     config = Table1Config(
-        collection=CollectionSettings(workers=args.workers),
+        machine=args.machine,
+        collection=CollectionSettings(
+            workers=args.workers, resilience=_build_resilience(args)
+        ),
         cache=cache,
+        journal=journal,
     )
     result = run_table1(app, args.train, args.target, config)
     print(table1_report(result.rows))
     print(f"measured runtime: {result.measured_runtime_s:.6f} s")
     _print_cache_stats(cache)
+    _print_run_health(result.run_report, journal)
     return 0
 
 
@@ -198,10 +376,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     p = sub.add_parser("collect", help="trace an app at one core count")
-    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--app", required=True, help="application name (see `repro list`)")
     p.add_argument("--ranks", required=True, type=int)
     p.add_argument("--machine", default="blue_waters_p1",
-                   choices=sorted(MACHINE_BUILDERS))
+                   help="machine name (see `repro list`)")
     p.add_argument("--out", required=True, help="signature output directory")
     _add_exec_flags(p)
     p.set_defaults(fn=cmd_collect)
@@ -224,25 +402,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.set_defaults(fn=cmd_extrapolate)
 
     p = sub.add_parser("predict", help="predict runtime from a trace")
-    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--app", required=True, help="application name (see `repro list`)")
     p.add_argument("--ranks", required=True, type=int)
     p.add_argument("--machine", default="blue_waters_p1",
-                   choices=sorted(MACHINE_BUILDERS))
+                   help="machine name (see `repro list`)")
     p.add_argument("--trace", required=True)
     p.set_defaults(fn=cmd_predict)
 
     p = sub.add_parser("measure", help="ground-truth runtime of an app")
-    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--app", required=True, help="application name (see `repro list`)")
     p.add_argument("--ranks", required=True, type=int)
     p.add_argument("--machine", default="blue_waters_p1",
-                   choices=sorted(MACHINE_BUILDERS))
+                   help="machine name (see `repro list`)")
     p.set_defaults(fn=cmd_measure)
 
     p = sub.add_parser("table1", help="run the Table I protocol")
-    p.add_argument("--app", required=True, choices=sorted(APP_BUILDERS))
+    p.add_argument("--app", required=True, help="application name (see `repro list`)")
     p.add_argument("--train", required=True, type=_parse_counts,
                    help="comma-separated training core counts")
     p.add_argument("--target", required=True, type=int)
+    p.add_argument("--machine", default="blue_waters_p1",
+                   help="machine name (see `repro list`)")
     _add_exec_flags(p)
     p.set_defaults(fn=cmd_table1)
 
@@ -252,7 +432,15 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except ReproError as exc:
+        # structured pipeline/usage error: one actionable line, status 2
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        print("repro: interrupted", file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":  # pragma: no cover

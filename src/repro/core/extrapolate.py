@@ -45,6 +45,7 @@ from repro.core.fitting import (
 )
 from repro.trace.records import BasicBlockRecord, InstructionRecord
 from repro.trace.tracefile import TraceFile
+from repro.util.errors import FitError
 
 
 @dataclass
@@ -78,22 +79,25 @@ def _check_consistent(traces: Sequence[TraceFile]) -> None:
     first = traces[0]
     for other in traces[1:]:
         if other.schema.fields != first.schema.fields:
-            raise ValueError("traces have differing schemas")
+            raise FitError("traces have differing schemas", stage="fit")
         if other.app != first.app:
-            raise ValueError(
-                f"traces from different apps: {first.app!r} vs {other.app!r}"
+            raise FitError(
+                f"traces from different apps: {first.app!r} vs {other.app!r}",
+                stage="fit",
             )
         if other.target != first.target:
-            raise ValueError(
+            raise FitError(
                 f"traces against different targets: {first.target!r} vs "
-                f"{other.target!r}"
+                f"{other.target!r}",
+                stage="fit",
             )
         if sorted(other.blocks) != sorted(first.blocks):
-            raise ValueError("traces have differing basic-block sets")
+            raise FitError("traces have differing basic-block sets", stage="fit")
         for bid in first.blocks:
             if other.blocks[bid].n_instructions != first.blocks[bid].n_instructions:
-                raise ValueError(
-                    f"block {bid} has differing instruction counts across traces"
+                raise FitError(
+                    f"block {bid} has differing instruction counts across traces",
+                    stage="fit",
                 )
 
 
@@ -208,20 +212,21 @@ def extrapolate_trace_many(
         range (see module docstring).  ``inf`` disables the cap.
     """
     if len(traces) < 2:
-        raise ValueError(
+        raise FitError(
             f"need at least 2 training traces, got {len(traces)} "
-            "(the paper uses 3)"
+            "(the paper uses 3)",
+            stage="fit",
         )
     targets = [int(t) for t in targets]
     if not targets:
-        raise ValueError("need at least one target core count")
+        raise FitError("need at least one target core count", stage="fit")
     for t in targets:
         if t <= 0:
-            raise ValueError(f"target core count must be positive, got {t}")
+            raise FitError(f"target core count must be positive, got {t}", stage="fit")
     traces = sorted(traces, key=lambda t: t.n_ranks)
     counts = [t.n_ranks for t in traces]
     if len(set(counts)) != len(counts):
-        raise ValueError(f"duplicate training core counts: {counts}")
+        raise FitError(f"duplicate training core counts: {counts}", stage="fit")
     _check_consistent(traces)
     schema = traces[0].schema
     template = traces[0]

@@ -29,6 +29,7 @@ import numpy as np
 from repro.core.batchfit import BatchFitResult, batch_fit_series
 from repro.core.canonical import CanonicalForm, FitResult, PAPER_FORMS, fit_all
 from repro.trace.features import FeatureSchema
+from repro.util.errors import FitError
 
 
 @dataclass
@@ -254,11 +255,12 @@ class BatchedFitReport(FitReport):
         """
         targets = [int(t) for t in targets]
         if not targets:
-            raise ValueError("need at least one sweep target")
+            raise FitError("need at least one sweep target", stage="fit")
         for t in targets:
             if t <= 0:
-                raise ValueError(
-                    f"target core count must be positive, got {t}"
+                raise FitError(
+                    f"target core count must be positive, got {t}",
+                    stage="fit",
                 )
         lo, hi = self._bounds_arrays()
         raw, _chosen = self.batch.select_and_predict(targets, lo)
@@ -327,10 +329,10 @@ def fit_feature_series(
         per-element scalar loop the batched engine is tested against.
     """
     if engine not in ("batched", "reference"):
-        raise ValueError(f"unknown fitting engine {engine!r}")
+        raise FitError(f"unknown fitting engine {engine!r}", stage="fit")
     x = np.asarray(core_counts, dtype=np.float64)
     if np.any(np.diff(x) <= 0):
-        raise ValueError("core counts must be strictly ascending")
+        raise FitError("core counts must be strictly ascending", stage="fit")
     matrices: List[np.ndarray] = []
     pair_keys: List[Tuple[int, int]] = []
     for (block_id, instr_id), matrix in series.items():

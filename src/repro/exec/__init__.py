@@ -1,21 +1,51 @@
 """Parallel execution substrate.
 
-Two independent throughput levers for the collection pipeline:
+Three layers for the collection pipeline:
 
 - :mod:`repro.exec.pool` — deterministic process-pool fan-out of
   independent tasks (rank traces, per-core-count signatures).
 - :mod:`repro.exec.sigcache` — on-disk memoization of collected
-  signatures so repeated experiments and benchmarks skip recollection.
+  signatures (digest-verified, corruption-quarantining) so repeated
+  experiments and benchmarks skip recollection.
+- :mod:`repro.exec.resilience` — fault-tolerant fan-out: per-task
+  timeouts, bounded deterministic retries, pool restart on worker
+  crash, serial fallback, and a :class:`RunReport` of recovery events.
+  :mod:`repro.exec.faults` is the matching deterministic
+  fault-injection harness that keeps every recovery path tested.
 """
 
+from repro.exec.faults import (
+    ENV_FAULT_PLAN,
+    FaultPlan,
+    FaultSpec,
+    active_plan,
+    apply_fault,
+    injected,
+    install_plan,
+)
 from repro.exec.pool import in_worker, resolve_workers, run_tasks
+from repro.exec.resilience import (
+    ResilienceConfig,
+    RunReport,
+    run_tasks_resilient,
+)
 from repro.exec.sigcache import SCHEMA_VERSION, CacheStats, SignatureCache
 
 __all__ = [
     "CacheStats",
+    "ENV_FAULT_PLAN",
+    "FaultPlan",
+    "FaultSpec",
+    "ResilienceConfig",
+    "RunReport",
     "SCHEMA_VERSION",
     "SignatureCache",
+    "active_plan",
+    "apply_fault",
     "in_worker",
+    "injected",
+    "install_plan",
     "resolve_workers",
     "run_tasks",
+    "run_tasks_resilient",
 ]

@@ -1,0 +1,208 @@
+"""Deterministic fault injection for exercising recovery paths.
+
+Every recovery path in the resilience layer (retry, pool restart,
+serial fallback, cache quarantine) is tested rather than trusted, which
+requires injecting failures *on demand and deterministically*.  A
+:class:`FaultPlan` is a list of :class:`FaultSpec` entries; each matches
+task keys by :mod:`fnmatch` pattern and fires only on listed 1-based
+attempt numbers, so "crash on the first attempt, succeed on the retry"
+is expressible without cross-process counters.
+
+Activation is layered:
+
+- tests call :func:`install_plan` / the :func:`injected` context
+  manager (process-global override), or
+- the ``REPRO_FAULT_PLAN`` environment variable holds the plan as JSON
+  text (or ``@/path/to/plan.json``), which forked pool workers inherit.
+
+Fault kinds:
+
+=========  ==========================================================
+``raise``  raise :class:`~repro.util.errors.TransientTaskError`
+``hang``   sleep ``seconds`` (pair with the executor's task timeout)
+``crash``  ``os._exit`` inside a pool worker (→ ``BrokenProcessPool``);
+           in serial execution it degrades to raising
+           :class:`~repro.util.errors.TaskCrashError` so the parent
+           process is never killed
+``corrupt``  truncate a just-written signature-cache entry (matched
+           against the cache key; consumed by
+           :meth:`repro.exec.sigcache.SignatureCache.put`)
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+import fnmatch
+import json
+import os
+import time
+from collections import defaultdict
+from contextlib import contextmanager
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, Optional, Tuple
+
+from repro.exec.pool import in_worker
+from repro.util.errors import TaskCrashError, TransientTaskError
+
+#: environment variable holding a JSON plan (or ``@path`` to one)
+ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
+
+KINDS = ("raise", "hang", "crash", "corrupt")
+
+#: exit status used by injected worker crashes (recognizable in logs)
+CRASH_EXIT_CODE = 17
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One injected fault: *which* task, *when*, and *how*."""
+
+    key: str  #: fnmatch pattern against the task / cache key
+    kind: str  #: one of :data:`KINDS`
+    attempts: Tuple[int, ...] = (1,)  #: 1-based attempt numbers that fire
+    seconds: float = 3600.0  #: hang duration (``hang`` only)
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r}; known: {KINDS}")
+
+    def matches(self, key: str, attempt: int) -> bool:
+        return attempt in self.attempts and fnmatch.fnmatchcase(key, self.key)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable set of fault specs, JSON round-trippable."""
+
+    specs: Tuple[FaultSpec, ...] = ()
+
+    def spec_for(
+        self, key: str, attempt: int, kinds: Tuple[str, ...] = KINDS
+    ) -> Optional[FaultSpec]:
+        """First spec matching ``(key, attempt)`` among ``kinds``."""
+        for spec in self.specs:
+            if spec.kind in kinds and spec.matches(key, attempt):
+                return spec
+        return None
+
+    # ------------------------------------------------------------------
+    # (de)serialization — the env-var / CI transport
+
+    def to_json(self) -> str:
+        return json.dumps(
+            [
+                {
+                    "key": s.key,
+                    "kind": s.kind,
+                    "attempts": list(s.attempts),
+                    "seconds": s.seconds,
+                    "message": s.message,
+                }
+                for s in self.specs
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "FaultPlan":
+        raw = json.loads(text)
+        if not isinstance(raw, list):
+            raise ValueError("fault plan JSON must be a list of specs")
+        specs = []
+        for entry in raw:
+            specs.append(
+                FaultSpec(
+                    key=entry["key"],
+                    kind=entry["kind"],
+                    attempts=tuple(entry.get("attempts", (1,))),
+                    seconds=float(entry.get("seconds", 3600.0)),
+                    message=entry.get("message", "injected fault"),
+                )
+            )
+        return cls(specs=tuple(specs))
+
+
+#: process-global override installed by tests (inherited by forked workers)
+_INSTALLED: Optional[FaultPlan] = None
+
+#: per-key count of cache stores, so ``corrupt`` specs can address the
+#: n-th store of a key; only advanced while a plan is active
+_STORE_COUNTS: Dict[str, int] = defaultdict(int)
+
+
+@lru_cache(maxsize=8)
+def _parse_env_plan(value: str) -> FaultPlan:
+    if value.startswith("@"):
+        with open(value[1:], "r", encoding="utf-8") as fh:
+            value = fh.read()
+    return FaultPlan.from_json(value)
+
+
+def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
+    """Install (or clear, with ``None``) the process-global plan."""
+    global _INSTALLED
+    previous = _INSTALLED
+    _INSTALLED = plan
+    _STORE_COUNTS.clear()
+    return previous
+
+
+@contextmanager
+def injected(plan: FaultPlan):
+    """Scoped plan installation for tests."""
+    previous = install_plan(plan)
+    try:
+        yield plan
+    finally:
+        install_plan(previous)
+
+
+def active_plan() -> Optional[FaultPlan]:
+    """The installed plan, else the ``REPRO_FAULT_PLAN`` one, else None."""
+    if _INSTALLED is not None:
+        return _INSTALLED
+    value = os.environ.get(ENV_FAULT_PLAN)
+    if not value:
+        return None
+    return _parse_env_plan(value)
+
+
+def apply_fault(key: str, attempt: int = 1) -> None:
+    """Fire any execution fault planned for ``(key, attempt)``.
+
+    Called at task entry by the executors (both the wrapped pool task
+    and the serial loop), so injection is independent of where the task
+    runs.  A no-op without an active plan.
+    """
+    plan = active_plan()
+    if plan is None:
+        return
+    spec = plan.spec_for(key, attempt, kinds=("raise", "hang", "crash"))
+    if spec is None:
+        return
+    if spec.kind == "raise":
+        raise TransientTaskError(spec.message, task_key=key, attempts=attempt)
+    if spec.kind == "hang":
+        time.sleep(spec.seconds)
+        return
+    # crash: kill the worker process outright so the parent sees a
+    # BrokenProcessPool; serially, raise instead of killing the caller
+    if in_worker():
+        os._exit(CRASH_EXIT_CODE)
+    raise TaskCrashError(
+        spec.message + " (serial crash)", task_key=key, attempts=attempt
+    )
+
+
+def check_corrupt(key: str) -> Optional[FaultSpec]:
+    """Corruption spec for the n-th store of cache ``key``, if planned.
+
+    The store counter only advances while a plan is active, so plans
+    installed mid-run address stores from their own activation onward.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    _STORE_COUNTS[key] += 1
+    return plan.spec_for(key, _STORE_COUNTS[key], kinds=("corrupt",))

@@ -82,10 +82,19 @@ def run_tasks(
     pool_size = resolve_workers(workers, len(task_list))
     if pool_size == 0:
         return [fn(*t) for t in task_list]
-    with ProcessPoolExecutor(
+    pool = ProcessPoolExecutor(
         max_workers=pool_size,
         mp_context=_mp_context(),
         initializer=_worker_init,
-    ) as pool:
+    )
+    try:
         futures = [pool.submit(fn, *t) for t in task_list]
-        return [f.result() for f in futures]
+        results = [f.result() for f in futures]
+    except BaseException:
+        # fail fast: a task error or Ctrl-C must not wait out every
+        # submitted task — drop the queue and return immediately
+        # (already-running tasks finish in the background)
+        pool.shutdown(wait=False, cancel_futures=True)
+        raise
+    pool.shutdown(wait=True)
+    return results

@@ -14,6 +14,14 @@ across processes.  Anything whose repr embeds a memory address (the
 ``object`` default) is *uncacheable*: the cache refuses to key it
 rather than silently never hitting, and counts the refusal in
 :class:`CacheStats`.
+
+Entries are **corruption-safe**: each file frames the pickled payload
+with a magic header and a SHA-256 content digest, verified on every
+read.  A truncated, bit-flipped, garbage, or pre-digest (legacy) file
+is never an error and never deleted silently — it is moved to a
+``quarantine/`` subdirectory for post-mortem, counted in
+``CacheStats.corrupt``, and reported to the caller as an ordinary miss,
+so pipeline code recollects and repairs the entry automatically.
 """
 
 from __future__ import annotations
@@ -26,13 +34,22 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Optional, Union
 
+from repro.exec import faults
+from repro.util.errors import CacheCorruptionError
 from repro.util.rng import DEFAULT_ROOT_SEED
 
 #: bump when collection output semantics change; invalidates all entries
-SCHEMA_VERSION = 1
+#: (2: digest-framed entry format)
+SCHEMA_VERSION = 2
 
 #: environment override for the cache directory
 ENV_CACHE_ROOT = "REPRO_SIGNATURE_CACHE"
+
+#: entry framing: magic, 64 hex digest chars, newline, pickled payload
+ENTRY_MAGIC = b"repro-sig\x00v2\n"
+
+#: subdirectory corrupt entries are moved to (never silently deleted)
+QUARANTINE_DIR = "quarantine"
 
 
 def _stable_token(obj) -> Optional[str]:
@@ -67,11 +84,13 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     uncacheable: int = 0
+    corrupt: int = 0
 
     def __str__(self) -> str:
         return (
             f"hits={self.hits} misses={self.misses} "
-            f"stores={self.stores} uncacheable={self.uncacheable}"
+            f"stores={self.stores} uncacheable={self.uncacheable} "
+            f"corrupt={self.corrupt}"
         )
 
 
@@ -91,6 +110,15 @@ class SignatureCache:
             )
         self.root = Path(root)
         self.stats = CacheStats()
+        self._report = None
+
+    def bind_report(self, report) -> None:
+        """Mirror corruption events into a resilience ``RunReport``."""
+        self._report = report
+
+    @property
+    def quarantine_root(self) -> Path:
+        return self.root / QUARANTINE_DIR
 
     # ------------------------------------------------------------------
     # keying
@@ -135,18 +163,68 @@ class SignatureCache:
     # ------------------------------------------------------------------
     # storage
 
+    def _read_verified(self, path: Path):
+        """Unpickle a digest-framed entry, or raise CacheCorruptionError.
+
+        Every failure mode maps to corruption: missing/short header,
+        wrong magic (including pre-digest legacy entries), digest
+        mismatch on truncated or bit-flipped payloads, and unpicklable
+        payloads (``pickle`` raises nearly arbitrary exceptions on
+        garbage bytes — ``UnpicklingError``, ``EOFError``,
+        ``AttributeError`` for renamed classes, ``ValueError`` from a
+        truncated opcode argument, ...).
+        """
+        with open(path, "rb") as fh:
+            blob = fh.read()
+        header_len = len(ENTRY_MAGIC) + 64 + 1
+        if len(blob) < header_len or not blob.startswith(ENTRY_MAGIC):
+            raise CacheCorruptionError(
+                "missing or foreign entry header", stage="cache"
+            )
+        digest = blob[len(ENTRY_MAGIC):len(ENTRY_MAGIC) + 64]
+        payload = blob[header_len:]
+        if hashlib.sha256(payload).hexdigest().encode("ascii") != digest:
+            raise CacheCorruptionError("content digest mismatch", stage="cache")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:
+            raise CacheCorruptionError(
+                f"undigestible payload: {type(exc).__name__}", stage="cache"
+            )
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Move a corrupt entry aside (never delete it) and count it."""
+        self.stats.corrupt += 1
+        try:
+            self.quarantine_root.mkdir(parents=True, exist_ok=True)
+            os.replace(self._path(key), self.quarantine_root / f"{key}.pkl")
+        except OSError:
+            # the entry raced away or the move failed; it stays counted
+            pass
+        if self._report is not None:
+            self._report.cache_corruptions += 1
+            self._report.quarantined.append(key)
+            self._report.record(f"quarantined cache entry {key}: {reason}")
+
     def get(self, key: Optional[str]):
-        """Cached signature for ``key``, or ``None`` on any miss."""
+        """Cached signature for ``key``, or ``None`` on any miss.
+
+        Corrupt entries (failed digest, unpicklable, legacy format) are
+        quarantined and reported as misses — callers never see an
+        exception, they just recollect.
+        """
         if key is None:
             return None
+        path = self._path(key)
         try:
-            with open(self._path(key), "rb") as fh:
-                sig = pickle.load(fh)
-        except Exception:
-            # a cache entry is disposable: any unreadable/corrupt file —
-            # pickle raises nearly arbitrary exceptions on garbage bytes
-            # (e.g. ValueError from a truncated opcode argument) — is a
-            # miss, never an error
+            sig = self._read_verified(path)
+        except CacheCorruptionError as exc:
+            if path.exists():
+                self._quarantine(key, str(exc))
+            self.stats.misses += 1
+            return None
+        except OSError:
+            # plain miss: no entry (or unreadable directory)
             self.stats.misses += 1
             return None
         self.stats.hits += 1
@@ -156,11 +234,13 @@ class SignatureCache:
         """Store ``signature`` under ``key`` atomically (no-op if None)."""
         if key is None:
             return
+        payload = pickle.dumps(signature, protocol=pickle.HIGHEST_PROTOCOL)
+        digest = hashlib.sha256(payload).hexdigest().encode("ascii")
         self.root.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
         try:
             with os.fdopen(fd, "wb") as fh:
-                pickle.dump(signature, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                fh.write(ENTRY_MAGIC + digest + b"\n" + payload)
             os.replace(tmp, self._path(key))
         except BaseException:
             try:
@@ -169,3 +249,9 @@ class SignatureCache:
                 pass
             raise
         self.stats.stores += 1
+        spec = faults.check_corrupt(key)
+        if spec is not None:
+            # injected corruption: truncate the just-published entry so
+            # the next read exercises the quarantine path
+            entry = self._path(key)
+            entry.write_bytes(entry.read_bytes()[: max(1, len(payload) // 2)])

@@ -12,9 +12,16 @@ Wires the substrates together into the paper's workflows:
   protocol: train on small counts, extrapolate, predict, compare with
   collected-trace prediction and measured runtime).
 - :mod:`repro.pipeline.report` — table rendering of experiment results.
+- :mod:`repro.pipeline.journal` — checkpoint journal making multi-unit
+  runs resumable after an interruption (``--resume``).
 """
 
-from repro.pipeline.collect import CollectionSettings, collect_signature
+from repro.pipeline.collect import (
+    CollectionSettings,
+    collect_signature,
+    collect_signatures,
+)
+from repro.pipeline.journal import RunJournal, make_journal, unit_key
 from repro.pipeline.predict import (
     PredictionResult,
     measure_runtime,
@@ -35,6 +42,10 @@ from repro.pipeline.report import table1_report
 __all__ = [
     "CollectionSettings",
     "collect_signature",
+    "collect_signatures",
+    "RunJournal",
+    "make_journal",
+    "unit_key",
     "PredictionResult",
     "predict_runtime",
     "measure_runtime",

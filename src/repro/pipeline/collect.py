@@ -11,6 +11,14 @@ every trace draws its randomness from a keyed RNG stream, so both
 levels fan out over :func:`repro.exec.pool.run_tasks` with bit-for-bit
 serial-identical results.  A :class:`repro.exec.sigcache.SignatureCache`
 short-circuits recollection entirely.
+
+Fault tolerance is opt-in per call site: when
+``CollectionSettings.resilience`` is set, the fan-out goes through
+:func:`repro.exec.resilience.run_tasks_resilient` (timeouts, retries,
+pool restart, serial fallback), and a :class:`RunJournal` passed to
+:func:`collect_signatures` checkpoints each completed ``(app, count)``
+unit so an interrupted sweep resumes where it stopped.  Neither can
+change results — tasks are pure functions of their arguments.
 """
 
 from __future__ import annotations
@@ -21,12 +29,15 @@ from typing import List, Optional, Sequence, Union
 from repro.apps.base import AppModel
 from repro.cache.hierarchy import CacheHierarchy
 from repro.exec.pool import run_tasks
+from repro.exec.resilience import ResilienceConfig, RunReport, run_tasks_resilient
 from repro.exec.sigcache import SignatureCache
 from repro.instrument.collector import CollectorConfig, collect_trace
+from repro.pipeline.journal import RunJournal, unit_key
 from repro.simmpi.profiler import profile_job
 from repro.simmpi.runtime import Job
 from repro.trace.signature import ApplicationSignature
 from repro.trace.tracefile import TraceFile
+from repro.util.errors import CollectionError
 from repro.util.rng import stream
 
 
@@ -40,13 +51,21 @@ class CollectionSettings:
 
     ``workers`` sizes the process pool used for rank/count fan-out:
     ``None`` = one per CPU, ``0``/``1`` = serial (the escape hatch).
-    It is execution mechanics, not collection identity, so it is
+    ``resilience`` switches the fan-out to the fault-tolerant executor.
+    Both are execution mechanics, not collection identity, so they are
     excluded from cache keys.
     """
 
     ranks: Union[str, Sequence[int]] = "slowest"
     collector: CollectorConfig = field(default_factory=CollectorConfig)
     workers: Optional[int] = None
+    resilience: Optional[ResilienceConfig] = None
+
+
+def task_key(app_name: str, n_ranks: int, rank: Optional[int] = None) -> str:
+    """Stable task key for fault plans / retry backoff / error context."""
+    base = f"collect:{app_name}:{n_ranks}"
+    return base if rank is None else f"{base}:rank{rank}"
 
 
 def _collect_rank_trace(
@@ -71,6 +90,34 @@ def _collect_rank_trace(
     )
 
 
+def _fan_out(
+    fn,
+    tasks: Sequence[tuple],
+    keys: Sequence[str],
+    settings: CollectionSettings,
+    report: Optional[RunReport],
+    on_result=None,
+) -> List:
+    """Dispatch to the plain or resilient executor per the settings."""
+    if settings.resilience is not None:
+        results, _ = run_tasks_resilient(
+            fn,
+            tasks,
+            keys=keys,
+            workers=settings.workers,
+            config=settings.resilience,
+            report=report,
+            on_result=on_result,
+            stage="collect",
+        )
+        return results
+    results = run_tasks(fn, tasks, workers=settings.workers)
+    if on_result is not None:
+        for i, value in enumerate(results):
+            on_result(i, value)
+    return results
+
+
 def collect_signature(
     app: AppModel,
     n_ranks: int,
@@ -79,6 +126,7 @@ def collect_signature(
     *,
     job: Optional[Job] = None,
     cache: Optional[SignatureCache] = None,
+    report: Optional[RunReport] = None,
 ) -> ApplicationSignature:
     """Collect an application signature at one core count.
 
@@ -91,15 +139,19 @@ def collect_signature(
     hierarchy:
         *Target-system* hierarchy the hit rates are simulated against.
     settings:
-        Rank selection, collector knobs, and pool size.
+        Rank selection, collector knobs, pool size, and retry policy.
     job:
         Pre-built job (to avoid rebuilding when the caller also replays).
     cache:
         Optional on-disk memoization; hits skip collection entirely.
+    report:
+        Resilience report to accumulate recovery events into.
     """
     settings = settings or CollectionSettings()
     key = None
     if cache is not None:
+        if report is not None:
+            cache.bind_report(report)
         key = cache.key_for(app, n_ranks, hierarchy, settings)
         cached = cache.get(key)
         if cached is not None:
@@ -107,8 +159,10 @@ def collect_signature(
     if job is None:
         job = app.build_job(n_ranks)
     elif job.n_ranks != n_ranks:
-        raise ValueError(
-            f"supplied job has {job.n_ranks} ranks, expected {n_ranks}"
+        raise CollectionError(
+            f"supplied job has {job.n_ranks} ranks, expected {n_ranks}",
+            stage="collect",
+            task_key=task_key(app.name, n_ranks),
         )
     profile = profile_job(job, app.program_factory(n_ranks))
     if settings.ranks == "slowest":
@@ -119,20 +173,26 @@ def collect_signature(
         trace_ranks = sorted(set(int(r) for r in settings.ranks))
         bad = [r for r in trace_ranks if not 0 <= r < n_ranks]
         if bad:
-            raise ValueError(f"trace ranks out of range: {bad}")
+            raise CollectionError(
+                f"trace ranks out of range: {bad}",
+                stage="collect",
+                task_key=task_key(app.name, n_ranks),
+            )
     signature = ApplicationSignature(
         app=app.name,
         n_ranks=n_ranks,
         target=hierarchy.name,
         compute_times=dict(profile.compute_times_s),
     )
-    traces = run_tasks(
+    traces = _fan_out(
         _collect_rank_trace,
         [
             (app, rank, n_ranks, hierarchy, settings.collector)
             for rank in trace_ranks
         ],
-        workers=settings.workers,
+        [task_key(app.name, n_ranks, rank) for rank in trace_ranks],
+        settings,
+        report,
     )
     for trace in traces:
         signature.add_trace(trace)
@@ -159,6 +219,8 @@ def collect_signatures(
     settings: Optional[CollectionSettings] = None,
     *,
     cache: Optional[SignatureCache] = None,
+    journal: Optional[RunJournal] = None,
+    report: Optional[RunReport] = None,
 ) -> List[ApplicationSignature]:
     """Collect signatures for several core counts, fanned out as a batch.
 
@@ -166,26 +228,49 @@ def collect_signatures(
     pool; only the misses are (re)collected — concurrently when
     ``settings.workers`` allows — then stored.  Results are returned in
     ``counts`` order.
+
+    With a ``journal``, each ``(app, count)`` unit is committed the
+    moment its signature is cached (in completion order, not batch
+    order), so a killed run resumes from the last completed unit; a
+    journaled unit is only trusted when its cache entry is still
+    readable, making resume safe against cleared or corrupted caches.
     """
     settings = settings or CollectionSettings()
+    if cache is not None and report is not None:
+        cache.bind_report(report)
     results: List[Optional[ApplicationSignature]] = [None] * len(counts)
     missing: List[int] = []
     for i, count in enumerate(counts):
+        unit = unit_key("collect", app.name, hierarchy.name, count)
+        cached = None
         if cache is not None:
-            sig = cache.get(cache.key_for(app, count, hierarchy, settings))
-            if sig is not None:
-                results[i] = sig
-                continue
+            cached = cache.get(cache.key_for(app, count, hierarchy, settings))
+        if cached is not None:
+            results[i] = cached
+            if journal is not None:
+                # count the resume skip, and (re)commit cache-only hits
+                # so the journal converges to the full unit set
+                if not journal.skip(unit):
+                    journal.mark(unit)
+            continue
         missing.append(i)
-    collected = run_tasks(
-        _collect_signature_task,
-        [(app, counts[i], hierarchy, settings) for i in missing],
-        workers=settings.workers,
-    )
-    for i, sig in zip(missing, collected):
+
+    def _store(j: int, sig: ApplicationSignature) -> None:
+        i = missing[j]
         results[i] = sig
         if cache is not None:
             cache.put(
                 cache.key_for(app, counts[i], hierarchy, settings), sig
             )
+        if journal is not None:
+            journal.mark(unit_key("collect", app.name, hierarchy.name, counts[i]))
+
+    _fan_out(
+        _collect_signature_task,
+        [(app, counts[i], hierarchy, settings) for i in missing],
+        [task_key(app.name, counts[i]) for i in missing],
+        settings,
+        report,
+        on_result=_store,
+    )
     return results

@@ -31,9 +31,11 @@ from repro.core.extrapolate import (
     extrapolate_trace,
     extrapolate_trace_many,
 )
+from repro.exec.resilience import RunReport
 from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import get_machine, get_spec
 from repro.pipeline.collect import CollectionSettings, collect_signatures
+from repro.pipeline.journal import RunJournal
 from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.psins.ground_truth import GroundTruthConfig
 from repro.trace.tracefile import TraceFile
@@ -53,6 +55,9 @@ class Table1Config:
     cache: Optional[SignatureCache] = None
     #: fitting engine: "batched" (vectorized) or "reference" (scalar)
     engine: str = "batched"
+    #: optional checkpoint journal: completed collection units are
+    #: committed as they land, so an interrupted run can resume
+    journal: Optional[RunJournal] = None
 
 
 @dataclass
@@ -79,6 +84,8 @@ class Table1Result:
     extrapolation: ExtrapolationResult
     collected_trace: TraceFile
     measured_runtime_s: float
+    #: recovery events observed during collection (empty when clean)
+    run_report: RunReport = field(default_factory=RunReport)
 
     def extrap_vs_collected_gap(self) -> float:
         """Relative gap between the two predictions (paper: negligible)."""
@@ -102,7 +109,9 @@ def run_table1(
 
     # 1+3. signatures at every core count — the three training runs and
     # the target run are independent, so they are collected as one batch
-    # (concurrently when the pool allows, memoized when a cache is set)
+    # (concurrently when the pool allows, memoized when a cache is set,
+    # checkpointed per unit when a journal is set)
+    report = RunReport()
     counts = sorted(train_counts) + [target_count]
     signatures = collect_signatures(
         app,
@@ -110,6 +119,8 @@ def run_table1(
         machine.hierarchy,
         config.collection,
         cache=config.cache,
+        journal=config.journal,
+        report=report,
     )
     training: List[TraceFile] = [
         sig.slowest_trace() for sig in signatures[:-1]
@@ -161,6 +172,7 @@ def run_table1(
         extrapolation=extrapolation,
         collected_trace=collected,
         measured_runtime_s=measured.runtime_s,
+        run_report=report,
     )
 
 
@@ -168,6 +180,8 @@ def collect_training_traces(
     app: AppModel,
     train_counts: Sequence[int],
     config: Optional[Table1Config] = None,
+    *,
+    report: Optional[RunReport] = None,
 ) -> List[TraceFile]:
     """Collect the slowest-task training series for an extrapolation.
 
@@ -185,6 +199,8 @@ def collect_training_traces(
         machine.hierarchy,
         config.collection,
         cache=config.cache,
+        journal=config.journal,
+        report=report,
     )
     return [sig.slowest_trace() for sig in signatures]
 
@@ -213,6 +229,7 @@ def run_whatif_sweep(
     target_counts: Sequence[int],
     config: Optional[Table1Config] = None,
     training: Optional[Sequence[TraceFile]] = None,
+    report: Optional[RunReport] = None,
 ) -> WhatIfResult:
     """Predict runtimes at many target core counts from one training fit.
 
@@ -226,7 +243,7 @@ def run_whatif_sweep(
         config.machine, accesses_per_probe=config.accesses_per_probe
     )
     if training is None:
-        training = collect_training_traces(app, train_counts, config)
+        training = collect_training_traces(app, train_counts, config, report=report)
     sweep = extrapolate_trace_many(
         training,
         target_counts,

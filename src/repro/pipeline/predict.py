@@ -20,6 +20,7 @@ from repro.psins.ground_truth import GroundTruthConfig, measure_job
 from repro.psins.replay import ReplayResult, UniformTimer, replay_job
 from repro.simmpi.runtime import Job
 from repro.trace.tracefile import TraceFile
+from repro.util.errors import PredictionError
 
 
 @dataclass
@@ -52,8 +53,10 @@ def predict_runtime(
     strategy), and the full event timeline is replayed.
     """
     if trace.n_ranks != n_ranks:
-        raise ValueError(
-            f"trace is for {trace.n_ranks} ranks, predicting {n_ranks}"
+        raise PredictionError(
+            f"trace is for {trace.n_ranks} ranks, predicting {n_ranks}",
+            stage="predict",
+            task_key=f"predict:{app.name}:{n_ranks}",
         )
     if job is None:
         job = app.build_job(n_ranks)

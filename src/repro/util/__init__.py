@@ -1,10 +1,21 @@
-"""Shared utilities: deterministic RNG streams, units, validation, tables.
+"""Shared utilities: RNG streams, units, validation, tables, errors.
 
 Everything stochastic in the library flows through :mod:`repro.util.rng`
 so that experiments are reproducible bit-for-bit.  The remaining modules
 are small leaf helpers used across the package.
 """
 
+from repro.util.errors import (
+    CacheCorruptionError,
+    CollectionError,
+    FitError,
+    PredictionError,
+    ReproError,
+    TaskCrashError,
+    TaskTimeoutError,
+    TransientTaskError,
+    UsageError,
+)
 from repro.util.rng import RngStream, derive_seed, stream
 from repro.util.units import (
     KB,
@@ -23,6 +34,15 @@ from repro.util.validation import (
 from repro.util.tables import Table, format_table
 
 __all__ = [
+    "CacheCorruptionError",
+    "CollectionError",
+    "FitError",
+    "PredictionError",
+    "ReproError",
+    "TaskCrashError",
+    "TaskTimeoutError",
+    "TransientTaskError",
+    "UsageError",
     "RngStream",
     "derive_seed",
     "stream",

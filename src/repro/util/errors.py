@@ -1,0 +1,91 @@
+"""Structured error taxonomy for pipeline paths.
+
+Every failure the pipeline can surface to a caller is a
+:class:`ReproError` carrying three pieces of context — the *stage* it
+happened in (``collect``/``fit``/``predict``/``cache``/``exec``), the
+*task key* of the work unit (e.g. ``collect:jacobi:16``), and the
+*attempt* count when the executor had retried it.  The context is baked
+into the message so it survives pickling across process-pool workers
+(exception unpickling re-invokes ``__init__`` with ``args`` only).
+
+Subclasses double-inherit the builtin they historically replaced
+(``ValueError``/``RuntimeError``/``TimeoutError``) so existing
+``except ValueError`` call sites and tests keep working.
+
+Retry semantics (see :mod:`repro.exec.resilience`):
+
+- :class:`TransientTaskError` and :class:`TaskCrashError` are the
+  *retryable* failures — re-running the pure task may succeed.
+- :class:`TaskTimeoutError` is retryable while attempts remain, then
+  terminal.
+- everything else is deterministic (same inputs, same error) and
+  propagates immediately; retrying would only replay it.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ReproError(Exception):
+    """Base class for structured pipeline errors."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        stage: Optional[str] = None,
+        task_key: Optional[str] = None,
+        attempts: Optional[int] = None,
+    ):
+        self.stage = stage
+        self.task_key = task_key
+        self.attempts = attempts
+        self.base_message = message
+        context = []
+        if stage is not None:
+            context.append(f"stage={stage}")
+        if task_key is not None:
+            context.append(f"task={task_key}")
+        if attempts is not None:
+            context.append(f"attempts={attempts}")
+        if context:
+            message = f"{message} [{', '.join(context)}]"
+        super().__init__(message)
+
+
+class CollectionError(ReproError, ValueError):
+    """Signature collection failed (bad rank selection, job mismatch)."""
+
+
+class FitError(ReproError, ValueError):
+    """Canonical-form fitting / extrapolation input was unusable."""
+
+
+class PredictionError(ReproError, ValueError):
+    """Runtime prediction was asked to convolve inconsistent inputs."""
+
+
+class CacheCorruptionError(ReproError):
+    """A cache entry failed digest/unpickle verification.
+
+    Raised only *inside* the cache layer; callers observe a miss plus a
+    quarantined file, never this exception (acceptance: corruption must
+    not surface to pipeline code).
+    """
+
+
+class TaskTimeoutError(ReproError, TimeoutError):
+    """A pooled task exceeded its per-attempt wall-clock budget."""
+
+
+class TaskCrashError(ReproError, RuntimeError):
+    """A pool worker died (or a crash fault fired) while running a task."""
+
+
+class TransientTaskError(ReproError, RuntimeError):
+    """An error the executor may retry (injected faults use this)."""
+
+
+class UsageError(ReproError):
+    """Invalid CLI input; the CLI exits 2 with the message, no traceback."""

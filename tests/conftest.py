@@ -17,6 +17,18 @@ from repro.machine.profile import build_profile
 from repro.machine.systems import get_spec
 from repro.pipeline.collect import CollectionSettings, collect_signature
 
+@pytest.fixture(autouse=True)
+def _no_ambient_faults(monkeypatch):
+    """Isolate every test from ambient fault plans (env or leftover
+    install): only plans a test installs itself may fire."""
+    from repro.exec import faults
+
+    monkeypatch.delenv(faults.ENV_FAULT_PLAN, raising=False)
+    previous = faults.install_plan(None)
+    yield
+    faults.install_plan(previous)
+
+
 #: Small collector budget for tests: still coverage-faithful for the
 #: small regions the test apps use.
 FAST_COLLECTOR = CollectorConfig(

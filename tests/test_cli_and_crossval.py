@@ -160,6 +160,10 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["frobnicate"])
 
-    def test_unknown_app_rejected(self):
-        with pytest.raises(SystemExit):
-            main(["measure", "--app", "lammps", "--ranks", "4"])
+    def test_unknown_app_rejected(self, capsys):
+        # validated by the error taxonomy, not argparse: exit code 2
+        # with a one-line actionable message, no traceback
+        assert main(["measure", "--app", "lammps", "--ranks", "4"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown application 'lammps'" in err
+        assert "jacobi" in err  # the message lists the known apps

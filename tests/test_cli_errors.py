@@ -1,0 +1,172 @@
+"""CLI input validation: bad input fails fast with exit code 2.
+
+The contract under test — taxonomy errors (``UsageError`` and friends)
+surface as one actionable ``repro: error:`` line on stderr, never a
+traceback; malformed argument *syntax* stays argparse's job and exits 2
+via ``SystemExit``.  Collection never starts on invalid input.
+"""
+
+import os
+
+import pytest
+
+from repro.cli import main
+
+
+def _run(capsys, argv):
+    rc = main(argv)
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+class TestUnknownNames:
+    def test_unknown_app(self, capsys):
+        rc, _, err = _run(capsys, ["measure", "--app", "miniFE", "--ranks", "4"])
+        assert rc == 2
+        assert "unknown application 'miniFE'" in err
+        assert "jacobi" in err  # actionable: lists what IS known
+        assert "Traceback" not in err
+
+    def test_unknown_machine(self, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["measure", "--app", "jacobi", "--ranks", "4",
+             "--machine", "summit"],
+        )
+        assert rc == 2
+        assert "unknown machine 'summit'" in err
+        assert "blue_waters_p1" in err
+        assert "Traceback" not in err
+
+    def test_unknown_app_checked_before_collection(self, tmp_path, capsys):
+        # collect validates every input up front: nothing is written
+        out = tmp_path / "sig"
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "nope", "--ranks", "4", "--out", str(out)],
+        )
+        assert rc == 2 and "unknown application" in err
+        assert not out.exists()
+
+
+class TestMalformedCounts:
+    def test_non_numeric_target(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["extrapolate", "--trace", "t.npz", "--target", "8x",
+                  "--out", str(tmp_path / "o.npz")])
+        assert excinfo.value.code == 2
+
+    def test_non_positive_target(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["extrapolate", "--trace", "t.npz", "--target", "64,-8",
+                  "--out", str(tmp_path / "o.npz")])
+        assert excinfo.value.code == 2
+
+    def test_empty_train_list(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["table1", "--app", "jacobi", "--train", ",",
+                  "--target", "64"])
+        assert excinfo.value.code == 2
+
+
+class TestWritability:
+    @pytest.fixture()
+    def denied_dir(self, tmp_path, monkeypatch):
+        """An existing directory for which os.access denies W_OK.
+
+        chmod-based setups are useless here: the suite may run as root,
+        for whom access(2) grants everything — so the denial is
+        simulated at the exact call the CLI makes.
+        """
+        denied = tmp_path / "denied"
+        denied.mkdir()
+        real_access = os.access
+
+        def fake_access(path, mode, **kwargs):
+            if mode & os.W_OK and str(path).startswith(str(denied)):
+                return False
+            return real_access(path, mode, **kwargs)
+
+        monkeypatch.setattr(os, "access", fake_access)
+        return denied
+
+    def test_unwritable_out_dir(self, denied_dir, capsys):
+        out = denied_dir / "sig"
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "jacobi", "--ranks", "4",
+             "--out", str(out)],
+        )
+        assert rc == 2
+        assert "--out" in err and "not writable" in err
+        assert "Traceback" not in err
+        assert not out.exists()  # validation really is up-front
+
+    def test_unwritable_cache_dir(self, tmp_path, denied_dir, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "jacobi", "--ranks", "4",
+             "--out", str(tmp_path / "sig"),
+             "--cache-dir", str(denied_dir / "cache")],
+        )
+        assert rc == 2
+        assert "--cache-dir" in err and "not writable" in err
+
+    def test_out_file_is_a_directory(self, tmp_path, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["extrapolate", "--trace", "t.npz", "--target", "64",
+             "--out", str(tmp_path)],
+        )
+        assert rc == 2
+        assert "is a directory, not a file" in err
+
+    def test_missing_trace_file(self, tmp_path, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["extrapolate", "--trace", str(tmp_path / "ghost.npz"),
+             "--target", "64", "--out", str(tmp_path / "o.npz")],
+        )
+        assert rc == 2
+        assert "does not exist" in err
+
+
+class TestResilienceFlags:
+    def test_resume_without_cache_rejected(self, tmp_path, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "jacobi", "--ranks", "4",
+             "--out", str(tmp_path / "sig"), "--no-cache", "--resume"],
+        )
+        assert rc == 2
+        assert "--resume" in err and "--no-cache" in err
+
+    def test_resume_with_checkpoint_dir_still_needs_cache(
+        self, tmp_path, capsys
+    ):
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "jacobi", "--ranks", "4",
+             "--out", str(tmp_path / "sig"), "--no-cache", "--resume",
+             "--checkpoint-dir", str(tmp_path / "ckpt")],
+        )
+        assert rc == 2
+        assert "--no-cache" in err
+
+    def test_non_positive_task_timeout(self, tmp_path, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "jacobi", "--ranks", "4",
+             "--out", str(tmp_path / "sig"), "--task-timeout", "0"],
+        )
+        assert rc == 2
+        assert "--task-timeout must be positive" in err
+
+    def test_negative_max_retries(self, tmp_path, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["collect", "--app", "jacobi", "--ranks", "4",
+             "--out", str(tmp_path / "sig"), "--max-retries", "-1"],
+        )
+        assert rc == 2
+        assert "--max-retries must be >= 0" in err

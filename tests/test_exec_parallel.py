@@ -8,12 +8,14 @@ a warm cache must return exactly what a fresh collection would.
 
 import os
 import pickle
+import time
 
 import numpy as np
 import pytest
 
 from repro.exec.pool import _WORKER_ENV, in_worker, resolve_workers, run_tasks
 from repro.exec.sigcache import (
+    ENTRY_MAGIC,
     SCHEMA_VERSION,
     SignatureCache,
     app_token,
@@ -86,6 +88,37 @@ class TestRunTasks:
         monkeypatch.setenv(_WORKER_ENV, "1")
         assert in_worker()
         assert resolve_workers(8, 8) == 0
+
+
+def _interrupt_first(x):
+    if x == 0:
+        raise KeyboardInterrupt
+    time.sleep(0.5)
+    return x
+
+
+class TestInterruptAndResolveEdges:
+    def test_keyboard_interrupt_propagates_promptly(self):
+        # Ctrl-C in a worker must not wait out the queued tasks: 20
+        # half-second sleeps behind 2 workers would take ~5s drained,
+        # but cancel_futures drops the queue as soon as the first task
+        # raises
+        start = time.monotonic()
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(_interrupt_first, [(i,) for i in range(20)], workers=2)
+        assert time.monotonic() - start < 3.0
+
+    def test_keyboard_interrupt_serial(self):
+        with pytest.raises(KeyboardInterrupt):
+            run_tasks(_interrupt_first, [(0,)], workers=0)
+
+    def test_auto_workers_inside_worker_stays_serial(self, monkeypatch):
+        monkeypatch.setenv(_WORKER_ENV, "1")
+        assert resolve_workers(None, 8) == 0
+
+    def test_unknown_cpu_count_degrades_to_serial(self, monkeypatch):
+        monkeypatch.setattr(os, "cpu_count", lambda: None)
+        assert resolve_workers(None, 8) == 0
 
 
 def _traces_equal(a, b) -> bool:
@@ -218,6 +251,87 @@ class TestSignatureCache:
         cache.put(key, {"fake": True})
         (tmp_path / f"{key}.pkl").write_bytes(garbage)
         assert cache.get(key) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.corrupt == 1
+
+
+class TestQuarantine:
+    """Corrupt cache entries are moved aside — never silently deleted,
+    never surfaced as exceptions — and counted."""
+
+    def _settings(self):
+        return CollectionSettings(collector=FAST_COLLECTOR, workers=0)
+
+    def _seeded(self, tmp_path, small_jacobi, bw_machine):
+        cache = SignatureCache(tmp_path)
+        key = cache.key_for(
+            small_jacobi, 4, bw_machine.hierarchy, self._settings()
+        )
+        cache.put(key, {"payload": list(range(100))})
+        return cache, key
+
+    def test_corrupt_entry_moved_to_quarantine(
+        self, tmp_path, small_jacobi, bw_machine
+    ):
+        cache, key = self._seeded(tmp_path, small_jacobi, bw_machine)
+        (tmp_path / f"{key}.pkl").write_bytes(b"\x00" * 32)
+        assert cache.get(key) is None
+        assert not (tmp_path / f"{key}.pkl").exists()
+        quarantined = cache.quarantine_root / f"{key}.pkl"
+        assert quarantined.read_bytes() == b"\x00" * 32  # preserved intact
+
+    def test_hand_truncated_entry_is_quarantined(
+        self, tmp_path, small_jacobi, bw_machine
+    ):
+        # digest framing catches a torn write: chop a valid entry in half
+        cache, key = self._seeded(tmp_path, small_jacobi, bw_machine)
+        path = tmp_path / f"{key}.pkl"
+        blob = path.read_bytes()
+        assert blob.startswith(ENTRY_MAGIC)
+        path.write_bytes(blob[: len(blob) // 2])
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert (cache.quarantine_root / f"{key}.pkl").exists()
+        # the slot is free again: a re-store round-trips
+        cache.put(key, {"payload": list(range(100))})
+        assert cache.get(key) == {"payload": list(range(100))}
+
+    def test_pre_digest_legacy_entry_is_a_miss(
+        self, tmp_path, small_jacobi, bw_machine
+    ):
+        # schema v1 entries were raw pickles with no digest header; they
+        # must load as misses (recollect), not as trusted data
+        cache, key = self._seeded(tmp_path, small_jacobi, bw_machine)
+        (tmp_path / f"{key}.pkl").write_bytes(
+            pickle.dumps({"stale": "v1 entry"})
+        )
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 1
+        assert (cache.quarantine_root / f"{key}.pkl").exists()
+
+    def test_corruption_mirrored_into_run_report(
+        self, tmp_path, small_jacobi, bw_machine
+    ):
+        from repro.exec.resilience import RunReport
+
+        cache, key = self._seeded(tmp_path, small_jacobi, bw_machine)
+        (tmp_path / f"{key}.pkl").write_bytes(b"junk")
+        report = RunReport()
+        cache.bind_report(report)
+        assert cache.get(key) is None
+        assert report.cache_corruptions == 1
+        assert report.quarantined == [key]
+        assert any("quarantine" in e for e in report.events)
+
+    def test_missing_entry_is_plain_miss_not_corruption(
+        self, tmp_path, small_jacobi, bw_machine
+    ):
+        cache = SignatureCache(tmp_path)
+        key = cache.key_for(
+            small_jacobi, 4, bw_machine.hierarchy, self._settings()
+        )
+        assert cache.get(key) is None
+        assert cache.stats.corrupt == 0
         assert cache.stats.misses == 1
 
     def test_app_token_stable_across_instances(self, small_jacobi):
