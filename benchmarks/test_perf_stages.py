@@ -1,0 +1,89 @@
+"""Per-stage span timings and the observability overhead budget.
+
+Runs the small Table I protocol (jacobi, train 4,8 -> target 16) twice —
+once plain, once under span tracing — and records into
+``results/BENCH_pipeline.json``:
+
+- ``stages``: per-span ``{count, total_s}`` wall-clock aggregates from
+  one traced run, showing where pipeline time actually goes;
+- ``obs_overhead_pct``: the tracing wall-clock cost relative to the
+  plain run, which must stay under the budget (spans read the clock and
+  append to a list; they must never become a measurable tax).
+
+Thresholds follow the REPRO_BENCH_SMOKE convention of the other perf
+modules: shared CI runners are noisy, so smoke mode relaxes the
+overhead ceiling.
+"""
+
+import os
+import time
+
+import numpy as np
+
+from repro.apps.registry import get_app
+from repro.obs import trace as obs_trace
+from repro.pipeline.collect import CollectionSettings
+from repro.pipeline.experiment import Table1Config, run_table1
+
+from benchmarks.conftest import merge_bench
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: observability overhead ceiling (percent of plain wall-clock)
+MAX_OVERHEAD_PCT = 15.0 if SMOKE else 5.0
+
+#: the acceptance floor on trace coverage: distinct pipeline stages
+MIN_STAGES = 6
+
+TRAIN = (4, 8)
+TARGET = 16
+
+
+def _run_table1():
+    config = Table1Config(collection=CollectionSettings(workers=0))
+    return run_table1(get_app("jacobi"), list(TRAIN), TARGET, config)
+
+
+def _best_of(fn, repeats=3):
+    best = np.inf
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def test_stage_timings_and_tracing_overhead():
+    obs_trace.disable()
+    _run_table1()  # warm-up: imports, machine-profile memoization
+
+    t_plain = _best_of(_run_table1)
+
+    tracer = obs_trace.enable()
+    try:
+        t_traced = _best_of(_run_table1)
+        tracer.drain()  # keep only one run's spans in the recorded table
+        _run_table1()
+        stages = tracer.stage_durations()
+        stage_names = tracer.stages()
+    finally:
+        obs_trace.disable()
+
+    overhead_pct = 100.0 * (t_traced - t_plain) / t_plain
+    merge_bench(
+        "BENCH_pipeline",
+        {
+            "stages_smoke": SMOKE,
+            "stages": stages,
+            "obs_overhead_pct": round(overhead_pct, 2),
+        },
+    )
+
+    assert len(stage_names) >= MIN_STAGES, (
+        f"traced run covered only {stage_names}, expected >= {MIN_STAGES} "
+        "distinct pipeline stages"
+    )
+    assert overhead_pct < MAX_OVERHEAD_PCT, (
+        f"span tracing cost {overhead_pct:.1f}% wall-clock on the smoke "
+        f"row (budget {MAX_OVERHEAD_PCT}%)"
+    )

@@ -46,6 +46,7 @@ import numpy as np
 
 from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import CacheHierarchy
+from repro.obs.metrics import REGISTRY
 
 _EMPTY_TAG = np.int64(-1)
 
@@ -461,6 +462,8 @@ class HierarchySimulator:
             if instr_idx.shape != addresses.shape:
                 raise ValueError("instr_idx shape must match addresses")
         self._total += int(addresses.shape[0])
+        REGISTRY.inc("cachesim.chunks")
+        REGISTRY.inc("cachesim.accesses", int(addresses.shape[0]))
         if self._nested:
             self._process_nested(addresses, instr_idx)
             return

@@ -28,6 +28,15 @@ checkpoint and resume multi-unit runs, and any recovery events are
 summarized after the results.  Invalid inputs (unknown app or machine,
 malformed count lists, unwritable output paths) exit with status 2 and
 a one-line message — never a traceback.
+
+Observability: every data command takes ``--log-level``/``--log-json``
+(structured diagnostics on stderr; also via ``$REPRO_LOG``),
+``--trace-out`` (Chrome-trace span timeline for chrome://tracing or
+Perfetto), ``--metrics-out`` (counters and timer histograms as JSON),
+and ``--manifest-out`` (a run manifest digesting every output artifact).
+``--quiet`` silences everything except results and the artifacts
+explicitly asked for.  Only result tables go to stdout; all diagnostics
+go to stderr through the logger.
 """
 
 from __future__ import annotations
@@ -44,6 +53,10 @@ from repro.core.extrapolate import extrapolate_trace_many
 from repro.exec.resilience import ResilienceConfig, RunReport
 from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
+from repro.obs import log as obs_log
+from repro.obs import manifest as obs_manifest
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import REGISTRY
 from repro.pipeline.collect import CollectionSettings, collect_signatures
 from repro.pipeline.experiment import Table1Config, run_table1
 from repro.pipeline.journal import RunJournal, default_journal_path
@@ -51,6 +64,8 @@ from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.pipeline.report import table1_report
 from repro.trace.tracefile import TraceFile
 from repro.util.errors import ReproError, UsageError
+
+log = obs_log.get_logger("cli")
 
 
 # ----------------------------------------------------------------------
@@ -94,6 +109,11 @@ def _check_writable(flag: str, target: str, *, is_dir: bool) -> str:
     """
     path = Path(target)
     probe = _nearest_existing_dir(path if is_dir else path.parent)
+    if not probe.is_dir():
+        raise UsageError(
+            f"{flag} path {target!r} is not writable "
+            f"({str(probe)!r} is a file, not a directory)"
+        )
     if not os.access(probe, os.W_OK):
         raise UsageError(
             f"{flag} path {target!r} is not writable "
@@ -224,20 +244,97 @@ def _build_journal(
     )
 
 
-def _print_cache_stats(cache: Optional[SignatureCache]) -> None:
+def _add_obs_flags(p: argparse.ArgumentParser) -> None:
+    g = p.add_argument_group("observability")
+    g.add_argument(
+        "--log-level", choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="diagnostic verbosity on stderr (default: warning, "
+             "or $REPRO_LOG)",
+    )
+    g.add_argument(
+        "--log-json", action="store_true",
+        help="emit diagnostics as JSON lines instead of console text",
+    )
+    g.add_argument(
+        "--quiet", action="store_true",
+        help="results only: silence every diagnostic below error",
+    )
+    g.add_argument(
+        "--trace-out", default=None, metavar="FILE",
+        help="write a Chrome-trace span timeline here "
+             "(open in chrome://tracing or Perfetto)",
+    )
+    g.add_argument(
+        "--metrics-out", default=None, metavar="FILE",
+        help="write counters and timer histograms here as JSON",
+    )
+    g.add_argument(
+        "--manifest-out", default=None, metavar="FILE",
+        help="write a run manifest (config, git SHA, output digests) here",
+    )
+
+
+def _check_obs_paths(args: argparse.Namespace) -> None:
+    for flag, attr in (
+        ("--trace-out", "trace_out"),
+        ("--metrics-out", "metrics_out"),
+        ("--manifest-out", "manifest_out"),
+    ):
+        value = getattr(args, attr, None)
+        if value:
+            _check_writable(flag, value, is_dir=False)
+
+
+def _manifest_config(args: argparse.Namespace) -> dict:
+    return {k: v for k, v in vars(args).items() if k != "fn"}
+
+
+def _write_manifest(
+    args: argparse.Namespace,
+    *,
+    command: str,
+    outputs: dict,
+    app: Optional[str] = None,
+    machine: Optional[str] = None,
+    cache: Optional[SignatureCache] = None,
+    report: Optional[RunReport] = None,
+    journal: Optional[RunJournal] = None,
+    path: Optional[str] = None,
+) -> None:
+    """Write the run manifest when a path was requested (or defaulted)."""
+    path = path or getattr(args, "manifest_out", None)
+    if not path:
+        return
+    doc = obs_manifest.build_manifest(
+        command=command,
+        config=_manifest_config(args),
+        outputs=outputs,
+        app=app,
+        machine=machine,
+        cache=cache,
+        report=report,
+        journal=journal,
+        tracer=obs_trace.current() if obs_trace.is_enabled() else None,
+    )
+    obs_manifest.write_manifest(path, doc)
+    log.info("wrote run manifest: %s", path)
+
+
+def _log_cache_stats(cache: Optional[SignatureCache]) -> None:
     if cache is not None:
-        print(f"signature cache [{cache.root}]: {cache.stats}")
+        log.info("signature cache [%s]: %s", cache.root, cache.stats)
 
 
-def _print_run_health(
+def _log_run_health(
     report: Optional[RunReport], journal: Optional[RunJournal]
 ) -> None:
     if journal is not None:
-        print(f"checkpoint journal [{journal.path}]: {journal.stats}")
+        log.info("checkpoint journal [%s]: %s", journal.path, journal.stats)
     if report is not None and not report.clean:
-        print(f"resilience: {report.summary()}")
+        log.warning("resilience: %s", report.summary())
         for event in report.events:
-            print(f"  - {event}")
+            log.warning("  - %s", event)
 
 
 # ----------------------------------------------------------------------
@@ -271,8 +368,25 @@ def cmd_collect(args: argparse.Namespace) -> int:
         cache=cache, journal=journal, report=report,
     )[0]
     signature.save_dir(args.out)
-    _print_cache_stats(cache)
-    _print_run_health(report, journal)
+    _log_cache_stats(cache)
+    _log_run_health(report, journal)
+    outputs = {
+        p.name: p
+        for p in sorted(Path(args.out).iterdir())
+        if p.is_file() and p.name != obs_manifest.MANIFEST_NAME
+    }
+    _write_manifest(
+        args,
+        command="collect",
+        outputs=outputs,
+        app=args.app,
+        machine=args.machine,
+        cache=cache,
+        report=report,
+        journal=journal,
+        path=getattr(args, "manifest_out", None)
+        or str(Path(args.out) / obs_manifest.MANIFEST_NAME),
+    )
     trace = signature.slowest_trace()
     print(
         f"collected {args.app} @ {args.ranks} ranks against {args.machine}: "
@@ -306,13 +420,18 @@ def cmd_extrapolate(args: argparse.Namespace) -> int:
     )
     hist = dict(sweep.report.form_histogram())
     train = [t.n_ranks for t in sorted(traces, key=lambda t: t.n_ranks)]
+    outputs = {}
     for result in sweep.results:
         out = _out_path(args.out, result.target_n_ranks, len(sweep.targets))
         result.trace.save_npz(out)
+        outputs[f"trace_{result.target_n_ranks}"] = Path(out)
         print(
             f"extrapolated {traces[0].app} {train} -> "
             f"{result.target_n_ranks} ranks ({hist}) -> {out}"
         )
+    _write_manifest(
+        args, command="extrapolate", outputs=outputs, app=traces[0].app
+    )
     return 0
 
 
@@ -322,9 +441,17 @@ def cmd_predict(args: argparse.Namespace) -> int:
     trace = _load_trace(args.trace)
     prediction = predict_runtime(app, args.ranks, trace, machine)
     kind = "extrapolated" if trace.extrapolated else "collected"
-    print(
+    line = (
         f"{args.app} @ {args.ranks} ranks on {args.machine} "
         f"({kind} trace): predicted runtime {prediction.runtime_s:.6f} s"
+    )
+    print(line)
+    _write_manifest(
+        args,
+        command="predict",
+        outputs={"prediction.txt": (line + "\n").encode("utf-8")},
+        app=args.app,
+        machine=args.machine,
     )
     return 0
 
@@ -332,9 +459,17 @@ def cmd_predict(args: argparse.Namespace) -> int:
 def cmd_measure(args: argparse.Namespace) -> int:
     app = _resolve_app(args.app)
     result = measure_runtime(app, args.ranks, get_spec(_check_machine(args.machine)))
-    print(
+    line = (
         f"{args.app} @ {args.ranks} ranks on {args.machine}: "
         f"measured runtime {result.runtime_s:.6f} s"
+    )
+    print(line)
+    _write_manifest(
+        args,
+        command="measure",
+        outputs={"measurement.txt": (line + "\n").encode("utf-8")},
+        app=args.app,
+        machine=args.machine,
     )
     return 0
 
@@ -357,10 +492,23 @@ def cmd_table1(args: argparse.Namespace) -> int:
         journal=journal,
     )
     result = run_table1(app, args.train, args.target, config)
-    print(table1_report(result.rows))
-    print(f"measured runtime: {result.measured_runtime_s:.6f} s")
-    _print_cache_stats(cache)
-    _print_run_health(result.run_report, journal)
+    rendered = (
+        table1_report(result.rows)
+        + f"\nmeasured runtime: {result.measured_runtime_s:.6f} s\n"
+    )
+    print(rendered, end="")
+    _log_cache_stats(cache)
+    _log_run_health(result.run_report, journal)
+    _write_manifest(
+        args,
+        command="table1",
+        outputs={"table1.txt": rendered.encode("utf-8")},
+        app=args.app,
+        machine=args.machine,
+        cache=cache,
+        report=result.run_report,
+        journal=journal,
+    )
     return 0
 
 
@@ -382,6 +530,7 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine name (see `repro list`)")
     p.add_argument("--out", required=True, help="signature output directory")
     _add_exec_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_collect)
 
     p = sub.add_parser("extrapolate", help="synthesize a large-count trace")
@@ -399,6 +548,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True,
                    help="output .npz path; with a multi-target sweep it "
                         "must contain a {target} placeholder")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_extrapolate)
 
     p = sub.add_parser("predict", help="predict runtime from a trace")
@@ -407,6 +557,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="blue_waters_p1",
                    help="machine name (see `repro list`)")
     p.add_argument("--trace", required=True)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_predict)
 
     p = sub.add_parser("measure", help="ground-truth runtime of an app")
@@ -414,6 +565,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ranks", required=True, type=int)
     p.add_argument("--machine", default="blue_waters_p1",
                    help="machine name (see `repro list`)")
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_measure)
 
     p = sub.add_parser("table1", help="run the Table I protocol")
@@ -424,16 +576,50 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="blue_waters_p1",
                    help="machine name (see `repro list`)")
     _add_exec_flags(p)
+    _add_obs_flags(p)
     p.set_defaults(fn=cmd_table1)
 
     return parser
 
 
+def _export_obs_artifacts(args: argparse.Namespace) -> None:
+    """Flush requested trace/metrics artifacts (best effort, post-run)."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out and obs_trace.is_enabled():
+        obs_trace.current().export_chrome(trace_out)
+        log.info("wrote chrome trace: %s", trace_out)
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        REGISTRY.export(metrics_out)
+        log.info("wrote metrics: %s", metrics_out)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    obs_log.configure(
+        level=getattr(args, "log_level", None),
+        json_mode=True if getattr(args, "log_json", False) else None,
+        quiet=getattr(args, "quiet", False),
+    )
     try:
-        return args.fn(args)
+        _check_obs_paths(args)
+    except ReproError as exc:
+        print(f"repro: error: {exc}", file=sys.stderr)
+        return 2
+    # per-invocation observability state: a fresh registry and tracer,
+    # so repeated in-process main() calls (tests) never accumulate
+    REGISTRY.reset()
+    want_trace = bool(
+        getattr(args, "trace_out", None)
+        or os.environ.get(obs_trace.ENV_TRACE)
+    )
+    obs_trace.disable()
+    if want_trace:
+        obs_trace.enable()
+    try:
+        with obs_trace.span(f"cli.{args.command}"):
+            return args.fn(args)
     except ReproError as exc:
         # structured pipeline/usage error: one actionable line, status 2
         print(f"repro: error: {exc}", file=sys.stderr)
@@ -441,6 +627,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     except KeyboardInterrupt:
         print("repro: interrupted", file=sys.stderr)
         return 130
+    finally:
+        _export_obs_artifacts(args)
 
 
 if __name__ == "__main__":  # pragma: no cover

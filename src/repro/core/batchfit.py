@@ -31,6 +31,7 @@ from repro.core.canonical import (
     PAPER_FORMS,
     _PARSIMONY_RTOL,
 )
+from repro.obs.trace import span
 
 
 @dataclass
@@ -151,23 +152,24 @@ def batch_fit_series(
     sse = np.full((n_rows, n_forms), np.inf)
     applicable = np.zeros((n_rows, n_forms), dtype=bool)
     params_list: List[np.ndarray] = []
-    for f, form in enumerate(forms):
-        if n_distinct < form.min_points:
-            params_list.append(np.zeros((n_rows, 1)))
-            continue
-        params, ok = form.fit_batch(x, Y)
-        params_list.append(params)
-        ok = ok & np.all(np.isfinite(params), axis=1)
-        if not np.any(ok):
-            continue
-        with np.errstate(all="ignore"):
-            residual = form.evaluate_batch(params, x) - Y
-        residual = np.where(ok[:, None], residual, 0.0)
-        ok &= np.all(np.isfinite(residual), axis=1)
-        applicable[:, f] = ok
-        sse[:, f] = np.where(
-            ok, np.einsum("ij,ij->i", residual, residual), np.inf
-        )
+    with span("fit.batch", rows=n_rows, forms=n_forms):
+        for f, form in enumerate(forms):
+            if n_distinct < form.min_points:
+                params_list.append(np.zeros((n_rows, 1)))
+                continue
+            params, ok = form.fit_batch(x, Y)
+            params_list.append(params)
+            ok = ok & np.all(np.isfinite(params), axis=1)
+            if not np.any(ok):
+                continue
+            with np.errstate(all="ignore"):
+                residual = form.evaluate_batch(params, x) - Y
+            residual = np.where(ok[:, None], residual, 0.0)
+            ok &= np.all(np.isfinite(residual), axis=1)
+            applicable[:, f] = ok
+            sse[:, f] = np.where(
+                ok, np.einsum("ij,ij->i", residual, residual), np.inf
+            )
 
     n_candidates = applicable.sum(axis=1)
     if np.any(n_candidates == 0):

@@ -43,6 +43,7 @@ from repro.core.fitting import (
     FitReport,
     fit_feature_series,
 )
+from repro.obs.trace import span
 from repro.trace.records import BasicBlockRecord, InstructionRecord
 from repro.trace.tracefile import TraceFile
 from repro.util.errors import FitError
@@ -242,32 +243,38 @@ def extrapolate_trace_many(
     report = fit_feature_series(schema, counts, series, forms, engine=engine)
 
     results: List[ExtrapolationResult] = []
-    if isinstance(report, BatchedFitReport):
-        sweep = report.predict_many(
-            targets, rate_trust_factor=rate_trust_factor
-        )
-        for ti, target in enumerate(targets):
-            vectors = {
-                pair: sweep.values[ti, p].copy()
-                for p, pair in enumerate(sweep.pair_keys)
-            }
-            trace = _build_trace(template, target, rank, vectors)
-            results.append(
-                ExtrapolationResult(
-                    trace=trace, report=report, target_n_ranks=target
+    with span(
+        "extrapolate.synthesize",
+        targets=len(targets),
+        engine=engine,
+        pairs=len(series),
+    ):
+        if isinstance(report, BatchedFitReport):
+            sweep = report.predict_many(
+                targets, rate_trust_factor=rate_trust_factor
+            )
+            for ti, target in enumerate(targets):
+                vectors = {
+                    pair: sweep.values[ti, p].copy()
+                    for p, pair in enumerate(sweep.pair_keys)
+                }
+                trace = _build_trace(template, target, rank, vectors)
+                results.append(
+                    ExtrapolationResult(
+                        trace=trace, report=report, target_n_ranks=target
+                    )
                 )
-            )
-    else:
-        for target in targets:
-            vectors = _synthesize_reference(
-                report, template, target, rate_trust_factor
-            )
-            trace = _build_trace(template, target, rank, vectors)
-            results.append(
-                ExtrapolationResult(
-                    trace=trace, report=report, target_n_ranks=target
+        else:
+            for target in targets:
+                vectors = _synthesize_reference(
+                    report, template, target, rate_trust_factor
                 )
-            )
+                trace = _build_trace(template, target, rank, vectors)
+                results.append(
+                    ExtrapolationResult(
+                        trace=trace, report=report, target_n_ranks=target
+                    )
+                )
     return ExtrapolationSweep(results=results, report=report, targets=targets)
 
 

@@ -28,6 +28,7 @@ import numpy as np
 
 from repro.core.batchfit import BatchFitResult, batch_fit_series
 from repro.core.canonical import CanonicalForm, FitResult, PAPER_FORMS, fit_all
+from repro.obs.trace import span
 from repro.trace.features import FeatureSchema
 from repro.util.errors import FitError
 
@@ -347,31 +348,33 @@ def fit_feature_series(
 
     counts = [int(c) for c in core_counts]
     if engine == "reference":
-        report = FitReport(core_counts=counts)
-        for (block_id, instr_id), matrix in zip(pair_keys, matrices):
-            for j, feature in enumerate(schema.fields):
-                candidates = fit_all(x, matrix[:, j], forms)
-                report.fits[(block_id, instr_id, feature)] = ElementFit(
-                    block_id=block_id,
-                    instr_id=instr_id,
-                    feature=feature,
-                    candidates=candidates,
-                    train_x=x,
-                    train_y=matrix[:, j].copy(),
-                )
-        return report
+        with span("fit.series", engine="reference", pairs=len(pair_keys)):
+            report = FitReport(core_counts=counts)
+            for (block_id, instr_id), matrix in zip(pair_keys, matrices):
+                for j, feature in enumerate(schema.fields):
+                    candidates = fit_all(x, matrix[:, j], forms)
+                    report.fits[(block_id, instr_id, feature)] = ElementFit(
+                        block_id=block_id,
+                        instr_id=instr_id,
+                        feature=feature,
+                        candidates=candidates,
+                        train_x=x,
+                        train_y=matrix[:, j].copy(),
+                    )
+            return report
 
-    if matrices:
-        # (n_pairs * n_features, n_counts): pair-major, feature-minor
-        Y = np.concatenate(
-            [m.T for m in matrices], axis=0
+    with span("fit.series", engine="batched", pairs=len(pair_keys)):
+        if matrices:
+            # (n_pairs * n_features, n_counts): pair-major, feature-minor
+            Y = np.concatenate(
+                [m.T for m in matrices], axis=0
+            )
+        else:
+            Y = np.zeros((0, len(counts)))
+        batch = batch_fit_series(x, Y, forms)
+        return BatchedFitReport(
+            core_counts=counts,
+            schema=schema,
+            pair_keys=pair_keys,
+            batch=batch,
         )
-    else:
-        Y = np.zeros((0, len(counts)))
-    batch = batch_fit_series(x, Y, forms)
-    return BatchedFitReport(
-        core_counts=counts,
-        schema=schema,
-        pair_keys=pair_keys,
-        batch=batch,
-    )

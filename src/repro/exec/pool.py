@@ -23,6 +23,8 @@ from concurrent.futures import ProcessPoolExecutor
 from multiprocessing import get_context
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
 
+from repro.obs import trace as obs_trace
+
 T = TypeVar("T")
 
 #: set in worker processes so nested ``run_tasks`` calls stay serial
@@ -31,6 +33,12 @@ _WORKER_ENV = "REPRO_EXEC_WORKER"
 
 def _worker_init() -> None:
     os.environ[_WORKER_ENV] = "1"
+    # fresh per-worker observability state: an empty tracer (the parent's
+    # buffered spans must not be shipped back twice) and a zeroed
+    # metrics registry (the fork otherwise inherits the parent's counts)
+    import repro.obs
+
+    repro.obs.worker_init()
 
 
 def in_worker() -> bool:
@@ -71,25 +79,44 @@ def run_tasks(
     tasks: Iterable[Sequence],
     *,
     workers: Optional[int] = None,
+    keys: Optional[Sequence[str]] = None,
 ) -> List[T]:
     """Run ``fn(*task)`` for every task; results in task order.
 
     ``fn`` and every task element must be picklable (module-level
     functions, dataclasses, builtins).  Exceptions raised by a task
     propagate to the caller, as they would serially.
+
+    ``keys`` optionally names the tasks for observability (span labels
+    and per-task log context); it never affects scheduling or results.
+    When span tracing is enabled, pooled calls are routed through
+    :func:`repro.obs.trace.call_shipped` so each worker's completed
+    spans travel back with its result and land in the parent's tracer.
     """
     task_list = [tuple(t) for t in tasks]
     pool_size = resolve_workers(workers, len(task_list))
     if pool_size == 0:
         return [fn(*t) for t in task_list]
+    key_list = (
+        [str(k) for k in keys]
+        if keys is not None
+        else [f"task{i}" for i in range(len(task_list))]
+    )
+    shipping = obs_trace.is_enabled()
     pool = ProcessPoolExecutor(
         max_workers=pool_size,
         mp_context=_mp_context(),
         initializer=_worker_init,
     )
     try:
-        futures = [pool.submit(fn, *t) for t in task_list]
-        results = [f.result() for f in futures]
+        if shipping:
+            futures = [
+                pool.submit(obs_trace.call_shipped, fn, key, t)
+                for key, t in zip(key_list, task_list)
+            ]
+        else:
+            futures = [pool.submit(fn, *t) for t in task_list]
+        results = [obs_trace.unwrap(f.result()) for f in futures]
     except BaseException:
         # fail fast: a task error or Ctrl-C must not wait out every
         # submitted task — drop the queue and return immediately

@@ -44,6 +44,9 @@ from typing import Callable, Iterable, List, Optional, Sequence, Tuple, TypeVar
 
 from repro.exec import faults
 from repro.exec.pool import _mp_context, _worker_init, resolve_workers
+from repro.obs import trace as obs_trace
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.util.errors import (
     TaskCrashError,
     TaskTimeoutError,
@@ -52,6 +55,8 @@ from repro.util.errors import (
 from repro.util.rng import stream
 
 T = TypeVar("T")
+
+log = get_logger("exec.resilience")
 
 
 @dataclass(frozen=True)
@@ -88,8 +93,38 @@ class RunReport:
     quarantined: List[str] = field(default_factory=list)
     events: List[str] = field(default_factory=list)
 
+    #: counter fields, in summary() order (the metrics mirroring surface)
+    COUNTER_FIELDS = (
+        "retries",
+        "transient_errors",
+        "timeouts",
+        "crashes",
+        "pool_restarts",
+        "serial_fallbacks",
+        "cache_corruptions",
+    )
+
+    def bump(self, name: str, n: int = 1) -> None:
+        """Increment one tally, mirrored into the global metrics registry.
+
+        The report stays the per-run view; ``resilience.<name>`` in
+        :data:`repro.obs.metrics.REGISTRY` accumulates the same counts
+        for the metrics exporter.
+        """
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"resilience.{name}", n)
+
     def record(self, message: str) -> None:
         self.events.append(message)
+        REGISTRY.inc("resilience.events")
+        log.warning("%s", message)
+
+    def to_dict(self) -> dict:
+        """JSON view: every tally plus the event/quarantine lists."""
+        doc = {name: getattr(self, name) for name in self.COUNTER_FIELDS}
+        doc["quarantined"] = list(self.quarantined)
+        doc["events"] = list(self.events)
+        return doc
 
     @property
     def clean(self) -> bool:
@@ -129,9 +164,15 @@ def backoff_s(key: str, attempt: int, config: ResilienceConfig) -> float:
 
 
 def _call_with_faults(fn, key: str, attempt: int, args: tuple):
-    """Task wrapper (module-level, hence picklable): faults then fn."""
+    """Task wrapper (module-level, hence picklable): faults then fn.
+
+    Routes through :func:`repro.obs.trace.call_shipped` so the task runs
+    with log context and, when tracing is enabled, under an ``exec.task``
+    span — shipped back inside a ``TaskEnvelope`` from pool workers
+    (the caller unwraps with :func:`repro.obs.trace.unwrap`).
+    """
     faults.apply_fault(key, attempt)
-    return fn(*args)
+    return obs_trace.call_shipped(fn, key, args)
 
 
 def _kill_pool(pool: ProcessPoolExecutor) -> None:
@@ -219,7 +260,7 @@ def run_tasks_resilient(
                     message, stage=stage, task_key=key, attempts=attempt
                 )
             raise exc
-        report.retries += 1
+        report.bump("retries")
         if sleep:
             time.sleep(backoff_s(key, attempt, config))
         pending.append((i, attempt + 1))
@@ -229,13 +270,18 @@ def run_tasks_resilient(
             i, attempt = remaining.popleft()
             key = key_list[i]
             try:
-                value = _call_with_faults(fn, key, attempt, task_list[i])
+                # unwrap matters here too: serial execution *inside* a
+                # pool worker (a nested resilient fan-out) still ships
+                # envelopes, which absorb back into this process's state
+                value = obs_trace.unwrap(
+                    _call_with_faults(fn, key, attempt, task_list[i])
+                )
             except config.retry_exceptions as exc:
-                report.transient_errors += 1
+                report.bump("transient_errors")
                 report.record(f"transient error in {key} (attempt {attempt}): {exc}")
                 requeue(i, attempt, exc, sleep=True)
             except TaskCrashError as exc:
-                report.crashes += 1
+                report.bump("crashes")
                 report.record(f"crash in {key} (attempt {attempt}): {exc}")
                 requeue(i, attempt, exc, sleep=True)
             else:
@@ -274,14 +320,14 @@ def run_tasks_resilient(
                 i, attempt = futures[future]
                 key = key_list[i]
                 try:
-                    value = future.result()
+                    value = obs_trace.unwrap(future.result())
                 except BrokenProcessPool as exc:
                     pool_broken = True
                     requeue(i, attempt, TaskCrashError(
                         f"worker crashed: {exc}", task_key=key,
                     ), sleep=False)
                 except config.retry_exceptions as exc:
-                    report.transient_errors += 1
+                    report.bump("transient_errors")
                     report.record(
                         f"transient error in {key} (attempt {attempt}): {exc}"
                     )
@@ -294,7 +340,7 @@ def run_tasks_resilient(
                 for future in not_done:
                     i, attempt = futures[future]
                     key = key_list[i]
-                    report.timeouts += 1
+                    report.bump("timeouts")
                     report.record(
                         f"timeout in {key} (attempt {attempt}, "
                         f"budget {config.task_timeout_s}s)"
@@ -306,17 +352,17 @@ def run_tasks_resilient(
                 _kill_pool(pool)
                 pool = None
                 restarts += 1
-                report.pool_restarts += 1
+                report.bump("pool_restarts")
                 report.record("pool killed after timeout")
             elif pool_broken:
-                report.crashes += 1
+                report.bump("crashes")
                 _kill_pool(pool)
                 pool = None
                 restarts += 1
-                report.pool_restarts += 1
+                report.bump("pool_restarts")
                 report.record("pool restarted after worker crash")
             if pool is None and pending and restarts > config.pool_restart_limit:
-                report.serial_fallbacks += 1
+                report.bump("serial_fallbacks")
                 report.record(
                     f"pool failed {restarts}x "
                     f"(limit {config.pool_restart_limit}); "

@@ -35,8 +35,12 @@ from pathlib import Path
 from typing import Optional, Union
 
 from repro.exec import faults
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
 from repro.util.errors import CacheCorruptionError
 from repro.util.rng import DEFAULT_ROOT_SEED
+
+log = get_logger("exec.sigcache")
 
 #: bump when collection output semantics change; invalidates all entries
 #: (2: digest-framed entry format)
@@ -78,13 +82,27 @@ def app_token(app) -> Optional[str]:
 
 @dataclass
 class CacheStats:
-    """Counters for one cache instance's lifetime."""
+    """Counters for one cache instance's lifetime.
+
+    A thin per-instance view: every increment goes through :meth:`bump`,
+    which mirrors into the global metrics registry as ``cache.<name>``,
+    so the ``--metrics-out`` export always agrees with this summary.
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     uncacheable: int = 0
     corrupt: int = 0
+
+    COUNTER_FIELDS = ("hits", "misses", "stores", "uncacheable", "corrupt")
+
+    def bump(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"cache.{name}", n)
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     def __str__(self) -> str:
         return (
@@ -142,7 +160,7 @@ class SignatureCache:
         ranks_tok = _stable_token(settings.ranks)
         coll_tok = _stable_token(settings.collector)
         if None in (app_tok, hier_tok, ranks_tok, coll_tok):
-            self.stats.uncacheable += 1
+            self.stats.bump("uncacheable")
             return None
         blob = "\n".join(
             [
@@ -194,7 +212,8 @@ class SignatureCache:
 
     def _quarantine(self, key: str, reason: str) -> None:
         """Move a corrupt entry aside (never delete it) and count it."""
-        self.stats.corrupt += 1
+        self.stats.bump("corrupt")
+        log.warning("quarantining cache entry %s: %s", key, reason)
         try:
             self.quarantine_root.mkdir(parents=True, exist_ok=True)
             os.replace(self._path(key), self.quarantine_root / f"{key}.pkl")
@@ -202,7 +221,7 @@ class SignatureCache:
             # the entry raced away or the move failed; it stays counted
             pass
         if self._report is not None:
-            self._report.cache_corruptions += 1
+            self._report.bump("cache_corruptions")
             self._report.quarantined.append(key)
             self._report.record(f"quarantined cache entry {key}: {reason}")
 
@@ -221,13 +240,13 @@ class SignatureCache:
         except CacheCorruptionError as exc:
             if path.exists():
                 self._quarantine(key, str(exc))
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
         except OSError:
             # plain miss: no entry (or unreadable directory)
-            self.stats.misses += 1
+            self.stats.bump("misses")
             return None
-        self.stats.hits += 1
+        self.stats.bump("hits")
         return sig
 
     def put(self, key: Optional[str], signature) -> None:
@@ -248,7 +267,7 @@ class SignatureCache:
             except OSError:
                 pass
             raise
-        self.stats.stores += 1
+        self.stats.bump("stores")
         spec = faults.check_corrupt(key)
         if spec is not None:
             # injected corruption: truncate the just-published entry so

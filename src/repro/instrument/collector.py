@@ -17,6 +17,7 @@ from typing import Optional
 from repro.cache.hierarchy import CacheHierarchy
 from repro.instrument.pebil import InstrumentedProgram, InstrumentationReport
 from repro.instrument.program import Program
+from repro.obs.trace import span
 from repro.trace.features import FeatureSchema
 from repro.trace.records import BasicBlockRecord, InstructionRecord
 from repro.trace.tracefile import TraceFile
@@ -71,7 +72,8 @@ def collect_trace(
             max_sample_accesses=config.max_sample_accesses,
             chunk=config.chunk,
         )
-        report = instrumented.run(rng)
+        with span("cachesim.run", app=app, rank=rank, n_ranks=n_ranks):
+            report = instrumented.run(rng)
     schema = FeatureSchema(hierarchy.level_names)
     trace = TraceFile(
         app=app,

@@ -1,0 +1,188 @@
+"""Process-local metrics registry: counters, gauges, histogram timers.
+
+One global :data:`REGISTRY` absorbs every tally the pipeline produces —
+the signature cache's hit/miss/store/corrupt counts, the resilient
+executor's recovery events, per-stage wall-clock timers, cache-simulator
+throughput counters — and exports them as one JSON document
+(``--metrics-out metrics.json``).  The legacy per-instance tallies
+(:class:`repro.exec.sigcache.CacheStats`,
+:class:`repro.exec.resilience.RunReport`) remain as thin views: their
+increment sites mirror into the registry, so the exported counters
+always equal the legacy text summaries.
+
+Everything here is observability-only: no RNG, no influence on any
+numeric pipeline output, and cheap enough (dict updates) to stay always
+on.  Worker processes get a fresh registry
+(:func:`repro.obs.worker_init`) and ship their deltas back to the parent
+inside the span envelope (see :mod:`repro.obs.trace`), where
+:meth:`MetricsRegistry.merge` folds them in.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Dict, List, Union
+
+
+class Counter:
+    """Handle to one monotonically increasing counter."""
+
+    __slots__ = ("_registry", "name")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self.name = name
+
+    def inc(self, n: Union[int, float] = 1) -> None:
+        self._registry.inc(self.name, n)
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self._registry.counters.get(self.name, 0)
+
+
+class Gauge:
+    """Handle to one last-value-wins gauge."""
+
+    __slots__ = ("_registry", "name")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self.name = name
+
+    def set(self, value: float) -> None:
+        self._registry.gauges[self.name] = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._registry.gauges.get(self.name, 0.0)
+
+
+def _quantile(sorted_values: List[float], q: float) -> float:
+    """Linear-interpolation quantile of an ascending list (q in [0, 1])."""
+    n = len(sorted_values)
+    if n == 0:
+        return 0.0
+    if n == 1:
+        return sorted_values[0]
+    pos = q * (n - 1)
+    lo = int(pos)
+    hi = min(lo + 1, n - 1)
+    frac = pos - lo
+    return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+class Timer:
+    """Handle to one histogram timer (observations in seconds)."""
+
+    __slots__ = ("_registry", "name")
+
+    def __init__(self, registry: "MetricsRegistry", name: str):
+        self._registry = registry
+        self.name = name
+
+    def observe(self, seconds: float) -> None:
+        self._registry.observe(self.name, seconds)
+
+    @contextmanager
+    def time(self):
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.observe(time.perf_counter() - t0)
+
+    def summary(self) -> Dict[str, float]:
+        values = sorted(self._registry.timers.get(self.name, []))
+        return {
+            "count": len(values),
+            "sum_s": float(sum(values)),
+            "p50_s": _quantile(values, 0.50),
+            "p95_s": _quantile(values, 0.95),
+            "max_s": values[-1] if values else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Counters, gauges, and histogram timers for one process.
+
+    Counter/gauge/timer names are free-form dotted strings
+    (``cache.hits``, ``replay.jobs``, ``fit.series_s``); the registry
+    creates them on first touch.
+    """
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Union[int, float]] = {}
+        self.gauges: Dict[str, float] = {}
+        self.timers: Dict[str, List[float]] = {}
+
+    # -- primitive operations (also reachable through handles) ---------
+
+    def inc(self, name: str, n: Union[int, float] = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def observe(self, name: str, seconds: float) -> None:
+        self.timers.setdefault(name, []).append(float(seconds))
+
+    def counter(self, name: str) -> Counter:
+        return Counter(self, name)
+
+    def gauge(self, name: str) -> Gauge:
+        return Gauge(self, name)
+
+    def timer(self, name: str) -> Timer:
+        return Timer(self, name)
+
+    # -- lifecycle ------------------------------------------------------
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+
+    def drain(self) -> Dict[str, dict]:
+        """Snapshot everything and reset — the worker-shipping primitive."""
+        snapshot = {
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "timers": {k: list(v) for k, v in self.timers.items()},
+        }
+        self.reset()
+        return snapshot
+
+    def merge(self, snapshot: Dict[str, dict]) -> None:
+        """Fold a :meth:`drain` snapshot (e.g. from a pool worker) in."""
+        for name, n in snapshot.get("counters", {}).items():
+            self.inc(name, n)
+        self.gauges.update(snapshot.get("gauges", {}))
+        for name, values in snapshot.get("timers", {}).items():
+            self.timers.setdefault(name, []).extend(values)
+
+    # -- export ---------------------------------------------------------
+
+    def to_dict(self) -> dict:
+        """The exported document: plain counters/gauges + timer summaries."""
+        return {
+            "counters": dict(sorted(self.counters.items())),
+            "gauges": dict(sorted(self.gauges.items())),
+            "timers": {
+                name: Timer(self, name).summary()
+                for name in sorted(self.timers)
+            },
+        }
+
+    def export(self, path: Union[str, Path]) -> dict:
+        """Write the registry as a JSON document; returns the document."""
+        doc = self.to_dict()
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+        return doc
+
+
+#: the process-global registry every pipeline layer reports into
+REGISTRY = MetricsRegistry()

@@ -32,6 +32,8 @@ from repro.exec.pool import run_tasks
 from repro.exec.resilience import ResilienceConfig, RunReport, run_tasks_resilient
 from repro.exec.sigcache import SignatureCache
 from repro.instrument.collector import CollectorConfig, collect_trace
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.pipeline.journal import RunJournal, unit_key
 from repro.simmpi.profiler import profile_job
 from repro.simmpi.runtime import Job
@@ -39,6 +41,8 @@ from repro.trace.signature import ApplicationSignature
 from repro.trace.tracefile import TraceFile
 from repro.util.errors import CollectionError
 from repro.util.rng import stream
+
+log = get_logger("pipeline.collect")
 
 
 @dataclass(frozen=True)
@@ -78,16 +82,17 @@ def _collect_rank_trace(
     """Trace one rank.  Module-level and argument-complete so it can run
     in a pool worker; the serial path calls the same function, which is
     what makes parallel/serial identity trivial."""
-    program = app.rank_program(rank, n_ranks)
-    return collect_trace(
-        program,
-        hierarchy,
-        app=app.name,
-        rank=rank,
-        n_ranks=n_ranks,
-        config=collector,
-        rng=stream("collect", app.name, n_ranks, rank, hierarchy.name),
-    )
+    with span("collect.rank", app=app.name, rank=rank, n_ranks=n_ranks):
+        program = app.rank_program(rank, n_ranks)
+        return collect_trace(
+            program,
+            hierarchy,
+            app=app.name,
+            rank=rank,
+            n_ranks=n_ranks,
+            config=collector,
+            rng=stream("collect", app.name, n_ranks, rank, hierarchy.name),
+        )
 
 
 def _fan_out(
@@ -111,7 +116,7 @@ def _fan_out(
             stage="collect",
         )
         return results
-    results = run_tasks(fn, tasks, workers=settings.workers)
+    results = run_tasks(fn, tasks, workers=settings.workers, keys=keys)
     if on_result is not None:
         for i, value in enumerate(results):
             on_result(i, value)
@@ -155,7 +160,9 @@ def collect_signature(
         key = cache.key_for(app, n_ranks, hierarchy, settings)
         cached = cache.get(key)
         if cached is not None:
+            log.debug("signature cache hit: %s n=%d", app.name, n_ranks)
             return cached
+        log.debug("signature cache miss: %s n=%d", app.name, n_ranks)
     if job is None:
         job = app.build_job(n_ranks)
     elif job.n_ranks != n_ranks:
@@ -164,7 +171,8 @@ def collect_signature(
             stage="collect",
             task_key=task_key(app.name, n_ranks),
         )
-    profile = profile_job(job, app.program_factory(n_ranks))
+    with span("collect.profile", app=app.name, n_ranks=n_ranks):
+        profile = profile_job(job, app.program_factory(n_ranks))
     if settings.ranks == "slowest":
         trace_ranks: List[int] = [profile.slowest_rank()]
     elif settings.ranks == "all":
@@ -184,16 +192,22 @@ def collect_signature(
         target=hierarchy.name,
         compute_times=dict(profile.compute_times_s),
     )
-    traces = _fan_out(
-        _collect_rank_trace,
-        [
-            (app, rank, n_ranks, hierarchy, settings.collector)
-            for rank in trace_ranks
-        ],
-        [task_key(app.name, n_ranks, rank) for rank in trace_ranks],
-        settings,
-        report,
-    )
+    with span(
+        "collect.signature",
+        app=app.name,
+        n_ranks=n_ranks,
+        traced_ranks=len(trace_ranks),
+    ):
+        traces = _fan_out(
+            _collect_rank_trace,
+            [
+                (app, rank, n_ranks, hierarchy, settings.collector)
+                for rank in trace_ranks
+            ],
+            [task_key(app.name, n_ranks, rank) for rank in trace_ranks],
+            settings,
+            report,
+        )
     for trace in traces:
         signature.add_trace(trace)
     if cache is not None:
@@ -265,12 +279,25 @@ def collect_signatures(
         if journal is not None:
             journal.mark(unit_key("collect", app.name, hierarchy.name, counts[i]))
 
-    _fan_out(
-        _collect_signature_task,
-        [(app, counts[i], hierarchy, settings) for i in missing],
-        [task_key(app.name, counts[i]) for i in missing],
-        settings,
-        report,
-        on_result=_store,
+    log.info(
+        "collecting %s: %d/%d counts cached, %d to collect",
+        app.name,
+        len(counts) - len(missing),
+        len(counts),
+        len(missing),
     )
+    with span(
+        "collect.signatures",
+        app=app.name,
+        counts=len(counts),
+        missing=len(missing),
+    ):
+        _fan_out(
+            _collect_signature_task,
+            [(app, counts[i], hierarchy, settings) for i in missing],
+            [task_key(app.name, counts[i]) for i in missing],
+            settings,
+            report,
+            on_result=_store,
+        )
     return results

@@ -34,11 +34,15 @@ from repro.core.extrapolate import (
 from repro.exec.resilience import RunReport
 from repro.exec.sigcache import SignatureCache
 from repro.machine.systems import get_machine, get_spec
+from repro.obs.log import get_logger
+from repro.obs.trace import span
 from repro.pipeline.collect import CollectionSettings, collect_signatures
 from repro.pipeline.journal import RunJournal
 from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.psins.ground_truth import GroundTruthConfig
 from repro.trace.tracefile import TraceFile
+
+log = get_logger("pipeline.experiment")
 
 
 @dataclass(frozen=True)
@@ -102,6 +106,13 @@ def run_table1(
 ) -> Table1Result:
     """Run the Table I protocol for one application."""
     config = config or Table1Config()
+    log.info(
+        "table1: app=%s train=%s target=%d machine=%s",
+        app.name,
+        list(train_counts),
+        target_count,
+        config.machine,
+    )
     machine = get_machine(
         config.machine, accesses_per_probe=config.accesses_per_probe
     )
@@ -128,9 +139,10 @@ def run_table1(
     collected = signatures[-1].slowest_trace()
 
     # 2. extrapolate to the target core count
-    extrapolation = extrapolate_trace(
-        training, target_count, forms=config.forms, engine=config.engine
-    )
+    with span("fit.extrapolate", app=app.name, target=target_count):
+        extrapolation = extrapolate_trace(
+            training, target_count, forms=config.forms, engine=config.engine
+        )
 
     # the collected target trace is the expensive one the methodology is
     # designed to avoid — gathered anyway to evaluate it (Table I's
@@ -239,6 +251,13 @@ def run_whatif_sweep(
     each target's runtime on the configured machine.
     """
     config = config or Table1Config()
+    log.info(
+        "whatif sweep: app=%s train=%s targets=%d machine=%s",
+        app.name,
+        list(train_counts),
+        len(target_counts),
+        config.machine,
+    )
     machine = get_machine(
         config.machine, accesses_per_probe=config.accesses_per_probe
     )

@@ -26,6 +26,11 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Iterable, Optional, Union
 
+from repro.obs.log import get_logger
+from repro.obs.metrics import REGISTRY
+
+log = get_logger("pipeline.journal")
+
 
 def unit_key(*parts) -> str:
     """Canonical ``:``-joined unit name, e.g. ``collect:jacobi:bw:16``."""
@@ -38,6 +43,15 @@ class JournalStats:
 
     resumed: int = 0  #: units skipped because a previous run completed them
     marked: int = 0  #: units newly committed by this run
+
+    COUNTER_FIELDS = ("resumed", "marked")
+
+    def bump(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"journal.{name}", n)
+
+    def to_dict(self) -> dict:
+        return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     def __str__(self) -> str:
         return f"resumed={self.resumed} marked={self.marked}"
@@ -87,7 +101,8 @@ class RunJournal:
     def skip(self, unit: str) -> bool:
         """True (and counted) when ``unit`` finished in a previous run."""
         if unit in self._done:
-            self.stats.resumed += 1
+            self.stats.bump("resumed")
+            log.debug("resume skip: %s", unit)
             return True
         return False
 
@@ -102,7 +117,8 @@ class RunJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self._done.add(unit)
-        self.stats.marked += 1
+        self.stats.bump("marked")
+        log.debug("journaled: %s", unit)
 
     def mark_many(self, units: Iterable[str]) -> None:
         for unit in units:

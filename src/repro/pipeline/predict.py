@@ -15,6 +15,7 @@ from typing import Optional
 from repro.apps.base import AppModel
 from repro.machine.profile import MachineProfile
 from repro.machine.systems import MachineSpec, get_spec
+from repro.obs.trace import span
 from repro.psins.convolution import ComputationModel, ConvolutionConfig
 from repro.psins.ground_truth import GroundTruthConfig, measure_job
 from repro.psins.replay import ReplayResult, UniformTimer, replay_job
@@ -60,9 +61,11 @@ def predict_runtime(
         )
     if job is None:
         job = app.build_job(n_ranks)
-    model = ComputationModel(trace, machine, config)
-    timer = UniformTimer(model.iteration_time_s)
-    replay = replay_job(job, timer, machine.network)
+    with span("predict.runtime", app=app.name, n_ranks=n_ranks):
+        with span("convolve.model", machine=machine.name):
+            model = ComputationModel(trace, machine, config)
+        timer = UniformTimer(model.iteration_time_s)
+        replay = replay_job(job, timer, machine.network)
     return PredictionResult(replay=replay, model=model, trace=trace)
 
 
@@ -79,12 +82,13 @@ def measure_runtime(
         machine = get_spec(machine)
     if job is None:
         job = app.build_job(n_ranks)
-    return measure_job(
-        job,
-        app.program_factory(n_ranks),
-        app.equivalence_classes(n_ranks),
-        machine.hierarchy,
-        machine.timing,
-        machine.network,
-        config,
-    )
+    with span("measure.ground_truth", app=app.name, n_ranks=n_ranks):
+        return measure_job(
+            job,
+            app.program_factory(n_ranks),
+            app.equivalence_classes(n_ranks),
+            machine.hierarchy,
+            machine.timing,
+            machine.network,
+            config,
+        )

@@ -26,6 +26,7 @@ from typing import Callable, Deque, Dict, Tuple
 import numpy as np
 
 from repro.machine.network import NetworkParameters
+from repro.obs.trace import span
 from repro.simmpi.events import CollectiveEvent, ComputeEvent, RecvEvent, SendEvent
 from repro.simmpi.runtime import Job
 
@@ -267,4 +268,5 @@ def replay_job(
     network: NetworkParameters,
 ) -> ReplayResult:
     """Replay a job's event traces; return the predicted runtime."""
-    return ReplayEngine(job, timer, network).run()
+    with span("replay.job", n_ranks=job.n_ranks):
+        return ReplayEngine(job, timer, network).run()

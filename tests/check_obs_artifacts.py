@@ -1,0 +1,141 @@
+"""Validate observability artifacts against the schemas in tests/schemas/.
+
+CI runs this after a traced pipeline invocation::
+
+    python tests/check_obs_artifacts.py --trace trace.json \
+        --metrics metrics.json --manifest manifest.json --log log.jsonl
+
+Exit status 0 when every given artifact validates, 1 otherwise (with one
+line per problem on stderr).  Importable too: :func:`check_artifacts`
+returns the list of problems so tests can assert it is empty.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Union
+
+if __package__ in (None, ""):  # executed as a script: python tests/check_...
+    sys.path.insert(0, str(Path(__file__).resolve().parent.parent))
+
+from tests.schema_utils import validate  # noqa: E402
+
+SCHEMA_DIR = Path(__file__).resolve().parent / "schemas"
+
+#: minimum distinct pipeline stages a full-pipeline trace must cover
+MIN_TRACE_STAGES = 6
+
+_PathLike = Union[str, Path]
+
+
+def _load_schema(name: str) -> dict:
+    return json.loads((SCHEMA_DIR / f"{name}.schema.json").read_text())
+
+
+def _load_json(path: _PathLike, label: str, problems: List[str]):
+    try:
+        return json.loads(Path(path).read_text())
+    except (OSError, ValueError) as exc:
+        problems.append(f"{label}: cannot load {path}: {exc}")
+        return None
+
+
+def check_artifacts(
+    *,
+    trace: Optional[_PathLike] = None,
+    metrics: Optional[_PathLike] = None,
+    manifest: Optional[_PathLike] = None,
+    log: Optional[_PathLike] = None,
+    min_stages: int = MIN_TRACE_STAGES,
+) -> List[str]:
+    """Validate whichever artifacts were given; return the problems."""
+    problems: List[str] = []
+
+    if trace is not None:
+        doc = _load_json(trace, "trace", problems)
+        if doc is not None:
+            problems += [f"trace: {p}" for p in validate(doc, _load_schema("trace"))]
+            events = doc.get("traceEvents") or []
+            if not events:
+                problems.append("trace: no span events recorded")
+            stages = {
+                e["name"].split(".", 1)[0]
+                for e in events
+                if isinstance(e, dict) and isinstance(e.get("name"), str)
+            }
+            if len(stages) < min_stages:
+                problems.append(
+                    f"trace: only {len(stages)} pipeline stages "
+                    f"({sorted(stages)}), expected >= {min_stages}"
+                )
+
+    if metrics is not None:
+        doc = _load_json(metrics, "metrics", problems)
+        if doc is not None:
+            problems += [
+                f"metrics: {p}" for p in validate(doc, _load_schema("metrics"))
+            ]
+
+    if manifest is not None:
+        doc = _load_json(manifest, "manifest", problems)
+        if doc is not None:
+            problems += [
+                f"manifest: {p}" for p in validate(doc, _load_schema("manifest"))
+            ]
+
+    if log is not None:
+        schema = _load_schema("log")
+        try:
+            lines = Path(log).read_text().splitlines()
+        except OSError as exc:
+            problems.append(f"log: cannot load {log}: {exc}")
+            lines = []
+        for i, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                problems.append(f"log: line {i} is not JSON: {exc}")
+                continue
+            problems += [f"log: line {i}: {p}" for p in validate(record, schema)]
+
+    return problems
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--trace", default=None, help="Chrome trace JSON")
+    parser.add_argument("--metrics", default=None, help="metrics JSON")
+    parser.add_argument("--manifest", default=None, help="run manifest JSON")
+    parser.add_argument("--log", default=None, help="JSONL diagnostic log")
+    parser.add_argument(
+        "--min-stages", type=int, default=MIN_TRACE_STAGES,
+        help="minimum distinct pipeline stages the trace must cover",
+    )
+    args = parser.parse_args(argv)
+    if not any((args.trace, args.metrics, args.manifest, args.log)):
+        parser.error("nothing to check: give at least one artifact path")
+    problems = check_artifacts(
+        trace=args.trace,
+        metrics=args.metrics,
+        manifest=args.manifest,
+        log=args.log,
+        min_stages=args.min_stages,
+    )
+    for problem in problems:
+        print(f"check_obs_artifacts: {problem}", file=sys.stderr)
+    if not problems:
+        checked = [
+            name for name in ("trace", "metrics", "manifest", "log")
+            if getattr(args, name)
+        ]
+        print(f"check_obs_artifacts: OK ({', '.join(checked)})")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,96 @@
+"""A tiny JSON-Schema validator for the observability artifact tests.
+
+The container deliberately has no ``jsonschema`` package, and the
+artifacts only need a small, stable subset of the spec, so this module
+implements exactly that subset:
+
+``type`` (incl. type lists), ``properties``, ``required``, ``items``,
+``additionalProperties`` (bool or schema), ``enum``, ``minimum``, and
+``pattern``.
+
+``validate(instance, schema)`` returns a list of human-readable error
+strings (empty = valid); ``assert_valid`` raises ``AssertionError`` with
+all of them.  Booleans are deliberately *not* numbers, matching the JSON
+Schema spec.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, List
+
+_TYPES = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def _check_type(value: Any, expected, path: str, errors: List[str]) -> bool:
+    names = expected if isinstance(expected, list) else [expected]
+    for name in names:
+        checker = _TYPES.get(name)
+        if checker is None:
+            errors.append(f"{path}: unsupported schema type {name!r}")
+            return False
+        if checker(value):
+            return True
+    errors.append(
+        f"{path}: expected type {'/'.join(names)}, "
+        f"got {type(value).__name__}"
+    )
+    return False
+
+
+def _validate(value: Any, schema: dict, path: str, errors: List[str]) -> None:
+    if "enum" in schema:
+        if value not in schema["enum"]:
+            errors.append(f"{path}: {value!r} not in enum {schema['enum']}")
+        return
+    if "type" in schema:
+        if not _check_type(value, schema["type"], path, errors):
+            return
+    if isinstance(value, dict):
+        for name in schema.get("required", []):
+            if name not in value:
+                errors.append(f"{path}: missing required property {name!r}")
+        props = schema.get("properties", {})
+        additional = schema.get("additionalProperties", True)
+        for key, item in value.items():
+            child = f"{path}.{key}"
+            if key in props:
+                _validate(item, props[key], child, errors)
+            elif additional is False:
+                errors.append(f"{path}: unexpected property {key!r}")
+            elif isinstance(additional, dict):
+                _validate(item, additional, child, errors)
+    elif isinstance(value, list):
+        items = schema.get("items")
+        if isinstance(items, dict):
+            for i, item in enumerate(value):
+                _validate(item, items, f"{path}[{i}]", errors)
+    elif isinstance(value, (int, float)) and not isinstance(value, bool):
+        if "minimum" in schema and value < schema["minimum"]:
+            errors.append(
+                f"{path}: {value} below minimum {schema['minimum']}"
+            )
+    elif isinstance(value, str):
+        pattern = schema.get("pattern")
+        if pattern is not None and re.search(pattern, value) is None:
+            errors.append(f"{path}: {value!r} does not match {pattern!r}")
+
+
+def validate(instance: Any, schema: dict) -> List[str]:
+    """All schema violations in ``instance`` (empty list = valid)."""
+    errors: List[str] = []
+    _validate(instance, schema, "$", errors)
+    return errors
+
+
+def assert_valid(instance: Any, schema: dict, label: str = "document") -> None:
+    errors = validate(instance, schema)
+    assert not errors, f"{label} failed schema validation:\n" + "\n".join(errors)

@@ -1,0 +1,198 @@
+"""End-to-end tests: the CLI observability surface.
+
+One real ``table1`` run produces all three artifacts (Chrome trace,
+metrics JSON, run manifest); the artifacts validate against the schemas
+in ``tests/schemas/``, the exported counters equal the legacy
+``CacheStats`` view recorded in the manifest, repeated runs produce
+bit-identical output digests, and observability changes no result text.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main
+from repro.obs import manifest as obs_manifest
+from repro.obs import trace as obs_trace
+from repro.obs.metrics import REGISTRY
+from tests.schema_utils import assert_valid
+from tests.check_obs_artifacts import check_artifacts
+
+SCHEMA_DIR = Path(__file__).parent / "schemas"
+TRACE_SCHEMA = json.loads((SCHEMA_DIR / "trace.schema.json").read_text())
+METRICS_SCHEMA = json.loads((SCHEMA_DIR / "metrics.schema.json").read_text())
+MANIFEST_SCHEMA = json.loads((SCHEMA_DIR / "manifest.schema.json").read_text())
+LOG_SCHEMA = json.loads((SCHEMA_DIR / "log.schema.json").read_text())
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation(monkeypatch):
+    monkeypatch.delenv(obs_trace.ENV_TRACE, raising=False)
+    obs_trace.disable()
+    REGISTRY.reset()
+    yield
+    obs_trace.disable()
+    REGISTRY.reset()
+
+
+def _table1_args(run_dir: Path, cache_dir: Path, *extra: str) -> list:
+    return [
+        "table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+        "--workers", "0", "--cache-dir", str(cache_dir),
+        "--trace-out", str(run_dir / "trace.json"),
+        "--metrics-out", str(run_dir / "metrics.json"),
+        "--manifest-out", str(run_dir / "manifest.json"),
+        *extra,
+    ]
+
+
+@pytest.fixture(scope="module")
+def table1_run(tmp_path_factory):
+    """One traced table1 CLI run shared by every assertion below."""
+    base = tmp_path_factory.mktemp("obs-cli")
+    run_dir = base / "run1"
+    run_dir.mkdir()
+    cache_dir = base / "cache"
+    import io
+    import contextlib
+
+    stdout = io.StringIO()
+    with contextlib.redirect_stdout(stdout):
+        rc = main(_table1_args(run_dir, cache_dir))
+    obs_trace.disable()
+    assert rc == 0
+    return {
+        "dir": run_dir,
+        "cache_dir": cache_dir,
+        "stdout": stdout.getvalue(),
+        "trace": json.loads((run_dir / "trace.json").read_text()),
+        "metrics": json.loads((run_dir / "metrics.json").read_text()),
+        "manifest": json.loads((run_dir / "manifest.json").read_text()),
+    }
+
+
+class TestArtifacts:
+    def test_all_artifacts_validate(self, table1_run):
+        assert_valid(table1_run["trace"], TRACE_SCHEMA, "chrome trace")
+        assert_valid(table1_run["metrics"], METRICS_SCHEMA, "metrics")
+        assert_valid(table1_run["manifest"], MANIFEST_SCHEMA, "manifest")
+        # the CI validator script agrees
+        assert check_artifacts(
+            trace=table1_run["dir"] / "trace.json",
+            metrics=table1_run["dir"] / "metrics.json",
+            manifest=table1_run["dir"] / "manifest.json",
+        ) == []
+
+    def test_trace_covers_pipeline_stages(self, table1_run):
+        events = table1_run["trace"]["traceEvents"]
+        stages = {e["name"].split(".", 1)[0] for e in events}
+        # the acceptance bar: nested spans across >= 6 distinct stages
+        assert len(stages) >= 6, f"only {sorted(stages)}"
+        for expected in ("cli", "collect", "fit", "extrapolate",
+                         "predict", "replay", "measure", "cachesim"):
+            assert expected in stages
+        # spans are genuinely nested, not flat
+        assert {e["args"]["depth"] for e in events} >= {0, 1, 2}
+
+    def test_metrics_match_manifest_cache_stats(self, table1_run):
+        counters = table1_run["metrics"]["counters"]
+        cache = table1_run["manifest"]["cache"]
+        for name, value in cache.items():
+            assert counters.get(f"cache.{name}", 0) == value
+        resilience = table1_run["manifest"]["resilience"]
+        for name in ("retries", "timeouts", "crashes"):
+            assert counters.get(f"resilience.{name}", 0) == resilience[name]
+        assert counters["cachesim.accesses"] > 0
+
+    def test_manifest_records_run_identity(self, table1_run):
+        manifest = table1_run["manifest"]
+        assert manifest["command"] == "table1"
+        assert manifest["app"] == "jacobi"
+        assert manifest["machine"] == "blue_waters_p1"
+        assert manifest["config"]["target"] == 16
+        stage_names = set(manifest["stage_durations"])
+        assert {"collect.signatures", "fit.series", "replay.job"} <= stage_names
+
+    def test_result_table_digested(self, table1_run):
+        digest = table1_run["manifest"]["outputs"]["table1.txt"]["sha256"]
+        assert digest == obs_manifest.digest_bytes(
+            table1_run["stdout"].encode("utf-8")
+        )
+
+
+class TestReruns:
+    def test_rerun_digests_bit_identical(self, table1_run, tmp_path, capsys):
+        run_dir = tmp_path / "run2"
+        run_dir.mkdir()
+        rc = main(_table1_args(run_dir, table1_run["cache_dir"]))
+        assert rc == 0
+        capsys.readouterr()
+        second = json.loads((run_dir / "manifest.json").read_text())
+        assert obs_manifest.output_digests(second) == obs_manifest.output_digests(
+            table1_run["manifest"]
+        )
+        # the rerun was served by the signature cache
+        assert second["cache"]["hits"] > 0 and second["cache"]["misses"] == 0
+
+    def test_observability_off_same_results(self, table1_run, capsys):
+        rc = main(
+            ["table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+             "--workers", "0", "--cache-dir", str(table1_run["cache_dir"])]
+        )
+        assert rc == 0
+        assert capsys.readouterr().out == table1_run["stdout"]
+
+
+class TestCliFlags:
+    def test_quiet_silences_diagnostics(self, table1_run, capsys):
+        rc = main(
+            ["table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+             "--workers", "0", "--cache-dir", str(table1_run["cache_dir"]),
+             "--log-level", "debug", "--quiet"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert captured.err == ""
+        assert "Table I" in captured.out
+
+    def test_log_json_lines_validate(self, table1_run, capsys):
+        rc = main(
+            ["table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+             "--workers", "0", "--cache-dir", str(table1_run["cache_dir"]),
+             "--log-level", "info", "--log-json"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        lines = [ln for ln in captured.err.splitlines() if ln.strip()]
+        assert lines, "expected JSON diagnostics on stderr"
+        for line in lines:
+            assert_valid(json.loads(line), LOG_SCHEMA, "log record")
+
+    def test_collect_writes_default_manifest(self, tmp_path, capsys):
+        out = tmp_path / "sig"
+        rc = main(
+            ["collect", "--app", "jacobi", "--ranks", "4", "--workers", "0",
+             "--out", str(out), "--cache-dir", str(tmp_path / "cache")]
+        )
+        capsys.readouterr()
+        assert rc == 0
+        manifest = json.loads((out / obs_manifest.MANIFEST_NAME).read_text())
+        assert_valid(manifest, MANIFEST_SCHEMA, "collect manifest")
+        # every signature artifact is digested; the manifest is excluded
+        assert obs_manifest.MANIFEST_NAME not in manifest["outputs"]
+        assert any(name.endswith(".npz") for name in manifest["outputs"])
+        for name, entry in manifest["outputs"].items():
+            assert entry["sha256"] == obs_manifest.digest_file(out / name)
+
+    def test_unwritable_obs_path_exits_2(self, tmp_path, capsys):
+        target = tmp_path / "isafile"
+        target.write_text("x")
+        rc = main(
+            ["table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+             "--trace-out", str(target / "trace.json")]
+        )
+        assert rc == 2
+        assert "not writable" in capsys.readouterr().err
