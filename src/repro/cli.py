@@ -42,6 +42,7 @@ go to stderr through the logger.
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 from pathlib import Path
@@ -49,9 +50,16 @@ from typing import List, Optional
 
 from repro.apps.registry import APP_BUILDERS, get_app
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
-from repro.core.extrapolate import extrapolate_trace_many
 from repro.exec.resilience import ResilienceConfig, RunReport
 from repro.exec.sigcache import SignatureCache
+from repro.guard.config import GuardConfig, POLICIES
+from repro.guard.degrade import DegradationReport
+from repro.guard.engine import (
+    check_prediction_inputs,
+    check_signature,
+    guarded_extrapolate_many,
+)
+from repro.guard.violations import GuardError, GuardViolation
 from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
 from repro.obs import log as obs_log
 from repro.obs import manifest as obs_manifest
@@ -64,6 +72,7 @@ from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.pipeline.report import table1_report
 from repro.trace.tracefile import TraceFile
 from repro.util.errors import ReproError, UsageError
+from repro.util.validation import ValidationError
 
 log = obs_log.get_logger("cli")
 
@@ -244,6 +253,107 @@ def _build_journal(
     )
 
 
+def _add_guard_flags(
+    p: argparse.ArgumentParser, *, trust_help: str, trust_default=0.2
+) -> None:
+    g = p.add_argument_group("guardrails")
+    g.add_argument(
+        "--guard", choices=POLICIES, default="degrade",
+        help="stage-boundary guardrails: 'strict' refuses on the first "
+             "violation with an element-addressed message, 'degrade' "
+             "(default) repairs what it can (hold nearest-collected "
+             "values, substitute the largest collected trace) and "
+             "refuses only as a last resort, 'off' disables all checks",
+    )
+    g.add_argument(
+        "--trust-threshold", type=float, default=trust_default,
+        metavar="FRAC", help=trust_help,
+    )
+    g.add_argument(
+        "--degradation-out", default=None, metavar="FILE",
+        help="write the degradation report (violations, gate flags, "
+             "repairs, refusals) here as JSON",
+    )
+
+
+def _build_guard(args: argparse.Namespace) -> Optional[GuardConfig]:
+    """Interpret the guard flags; ``None`` when the policy is off.
+
+    Threshold validation runs through :mod:`repro.util.validation`, so a
+    bad ``--trust-threshold`` exits 2 with one line like every other
+    invalid input.
+    """
+    if getattr(args, "degradation_out", None):
+        _check_writable("--degradation-out", args.degradation_out, is_dir=False)
+    policy = getattr(args, "guard", "off")
+    if policy == "off":
+        return None
+    threshold = getattr(args, "trust_threshold", None)
+    if threshold is None:
+        return GuardConfig(policy=policy)
+    return GuardConfig(policy=policy, trust_threshold=threshold)
+
+
+def _new_degradation(guard: Optional[GuardConfig]) -> DegradationReport:
+    if guard is None:
+        return DegradationReport(policy="off")
+    return DegradationReport.for_config(guard)
+
+
+def _write_degradation(
+    args: argparse.Namespace, degradation: DegradationReport
+) -> None:
+    path = getattr(args, "degradation_out", None)
+    if not path:
+        return
+    Path(path).write_text(
+        json.dumps(degradation.to_dict(), indent=2, sort_keys=True) + "\n"
+    )
+    log.info("wrote degradation report: %s", path)
+
+
+def _log_guard(degradation: DegradationReport) -> None:
+    if not degradation.clean:
+        log.warning("%s", degradation.summary())
+
+
+QUALITY_SIDECAR_SUFFIX = ".quality.json"
+
+
+def _write_quality_sidecar(
+    out_path: str, degradation: DegradationReport
+) -> Path:
+    """Write the extrapolation-quality sidecar next to a synthesized
+    trace.  Trust data lives here, not in the trace itself, so the trace
+    bytes stay bit-identical with guards on or off."""
+    doc = {
+        "schema_version": 1,
+        "policy": degradation.policy,
+        "clean": degradation.clean,
+        "trust_threshold": degradation.trust_threshold,
+        "trust_fraction": degradation.trust_fraction,
+        "crossval_median_error": degradation.crossval_median_error,
+        "flagged_elements": degradation.n_crossval_flagged,
+        "degraded_elements": [
+            d.to_dict() for d in degradation.degraded_elements
+        ],
+        "degraded_traces": [d.to_dict() for d in degradation.degraded_traces],
+    }
+    path = Path(str(out_path) + QUALITY_SIDECAR_SUFFIX)
+    path.write_text(json.dumps(doc, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def _load_quality_sidecar(trace_path: str) -> Optional[dict]:
+    path = Path(str(trace_path) + QUALITY_SIDECAR_SUFFIX)
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError):  # unreadable sidecar = absent
+        return None
+
+
 def _add_obs_flags(p: argparse.ArgumentParser) -> None:
     g = p.add_argument_group("observability")
     g.add_argument(
@@ -300,6 +410,7 @@ def _write_manifest(
     cache: Optional[SignatureCache] = None,
     report: Optional[RunReport] = None,
     journal: Optional[RunJournal] = None,
+    guard: Optional[DegradationReport] = None,
     path: Optional[str] = None,
 ) -> None:
     """Write the run manifest when a path was requested (or defaulted)."""
@@ -315,6 +426,7 @@ def _write_manifest(
         cache=cache,
         report=report,
         journal=journal,
+        guard=guard,
         tracer=obs_trace.current() if obs_trace.is_enabled() else None,
     )
     obs_manifest.write_manifest(path, doc)
@@ -355,21 +467,28 @@ def cmd_collect(args: argparse.Namespace) -> int:
     app = _resolve_app(args.app)
     machine = get_machine(_check_machine(args.machine))
     _check_writable("--out", args.out, is_dir=True)
+    guard = _build_guard(args)
     cache = _build_cache(args)
     journal = _build_journal(
         args, cache, f"collect-{args.app}-{args.machine}-{args.ranks}"
     )
     report = RunReport()
+    degradation = _new_degradation(guard)
     settings = CollectionSettings(
         workers=args.workers, resilience=_build_resilience(args)
     )
-    signature = collect_signatures(
-        app, [args.ranks], machine.hierarchy, settings,
-        cache=cache, journal=journal, report=report,
-    )[0]
+    try:
+        signature = collect_signatures(
+            app, [args.ranks], machine.hierarchy, settings,
+            cache=cache, journal=journal, report=report,
+        )[0]
+        check_signature(signature, config=guard, report=degradation)
+    finally:
+        _write_degradation(args, degradation)
     signature.save_dir(args.out)
     _log_cache_stats(cache)
     _log_run_health(report, journal)
+    _log_guard(degradation)
     outputs = {
         p.name: p
         for p in sorted(Path(args.out).iterdir())
@@ -384,6 +503,7 @@ def cmd_collect(args: argparse.Namespace) -> int:
         cache=cache,
         report=report,
         journal=journal,
+        guard=degradation,
         path=getattr(args, "manifest_out", None)
         or str(Path(args.out) / obs_manifest.MANIFEST_NAME),
     )
@@ -413,11 +533,17 @@ def _out_path(template: str, target: int, n_targets: int) -> str:
 
 def cmd_extrapolate(args: argparse.Namespace) -> int:
     _check_writable("--out", args.out, is_dir=False)
+    guard = _build_guard(args)
     traces = [_load_trace(p) for p in args.trace]
     forms = EXTENDED_FORMS if args.extended_forms else PAPER_FORMS
-    sweep = extrapolate_trace_many(
-        traces, args.target, forms=forms, engine=args.engine
-    )
+    degradation = _new_degradation(guard)
+    try:
+        sweep, degradation = guarded_extrapolate_many(
+            traces, args.target, forms=forms, engine=args.engine,
+            config=guard, report=degradation,
+        )
+    finally:
+        _write_degradation(args, degradation)
     hist = dict(sweep.report.form_histogram())
     train = [t.n_ranks for t in sorted(traces, key=lambda t: t.n_ranks)]
     outputs = {}
@@ -425,12 +551,24 @@ def cmd_extrapolate(args: argparse.Namespace) -> int:
         out = _out_path(args.out, result.target_n_ranks, len(sweep.targets))
         result.trace.save_npz(out)
         outputs[f"trace_{result.target_n_ranks}"] = Path(out)
+        if guard is not None:
+            sidecar = _write_quality_sidecar(out, degradation)
+            outputs[f"quality_{result.target_n_ranks}"] = sidecar
         print(
             f"extrapolated {traces[0].app} {train} -> "
             f"{result.target_n_ranks} ranks ({hist}) -> {out}"
         )
+    if guard is not None and degradation.trust_fraction is not None:
+        print(
+            f"guard: cross-validation trust fraction "
+            f"{degradation.trust_fraction:.3f} at threshold "
+            f"{degradation.trust_threshold:g} "
+            f"({degradation.n_crossval_flagged} elements flagged)"
+        )
+    _log_guard(degradation)
     _write_manifest(
-        args, command="extrapolate", outputs=outputs, app=traces[0].app
+        args, command="extrapolate", outputs=outputs, app=traces[0].app,
+        guard=degradation,
     )
     return 0
 
@@ -438,7 +576,37 @@ def cmd_extrapolate(args: argparse.Namespace) -> int:
 def cmd_predict(args: argparse.Namespace) -> int:
     app = _resolve_app(args.app)
     machine = get_machine(_check_machine(args.machine))
+    guard = _build_guard(args)
     trace = _load_trace(args.trace)
+    degradation = _new_degradation(guard)
+    quality = _load_quality_sidecar(args.trace) if guard is not None else None
+    try:
+        check_prediction_inputs(
+            trace, machine, config=guard, report=degradation
+        )
+        if quality is not None and quality.get("trust_fraction") is not None:
+            trust = float(quality["trust_fraction"])
+            floor = getattr(args, "trust_threshold", None)
+            if floor is not None and trust < floor:
+                message = (
+                    f"extrapolation trust fraction {trust:.3f} below the "
+                    f"--trust-threshold floor {floor:g} "
+                    f"(from {args.trace}{QUALITY_SIDECAR_SUFFIX})"
+                )
+                if guard is not None and guard.strict:
+                    degradation.refuse(message)
+                    raise GuardError([
+                        GuardViolation(
+                            artifact="extrapolated-trace",
+                            boundary="trace->predict",
+                            check="trust-floor",
+                            message=message,
+                            severity="error",
+                        )
+                    ])
+                log.warning("guard: %s", message)
+    finally:
+        _write_degradation(args, degradation)
     prediction = predict_runtime(app, args.ranks, trace, machine)
     kind = "extrapolated" if trace.extrapolated else "collected"
     line = (
@@ -446,12 +614,21 @@ def cmd_predict(args: argparse.Namespace) -> int:
         f"({kind} trace): predicted runtime {prediction.runtime_s:.6f} s"
     )
     print(line)
+    if quality is not None and quality.get("trust_fraction") is not None:
+        print(
+            f"guard: extrapolation trust fraction "
+            f"{float(quality['trust_fraction']):.3f} "
+            f"({int(quality.get('flagged_elements', 0))} elements flagged "
+            f"in training cross-validation)"
+        )
+    _log_guard(degradation)
     _write_manifest(
         args,
         command="predict",
         outputs={"prediction.txt": (line + "\n").encode("utf-8")},
         app=args.app,
         machine=args.machine,
+        guard=degradation,
     )
     return 0
 
@@ -477,6 +654,7 @@ def cmd_measure(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     app = _resolve_app(args.app)
     _check_machine(args.machine)
+    guard = _build_guard(args)
     cache = _build_cache(args)
     train = ",".join(str(c) for c in args.train)
     journal = _build_journal(
@@ -490,15 +668,27 @@ def cmd_table1(args: argparse.Namespace) -> int:
         ),
         cache=cache,
         journal=journal,
+        guard=guard,
     )
-    result = run_table1(app, args.train, args.target, config)
+    degradation = _new_degradation(guard)
+    try:
+        result = run_table1(
+            app, args.train, args.target, config, degradation=degradation
+        )
+    finally:
+        _write_degradation(args, degradation)
     rendered = (
         table1_report(result.rows)
         + f"\nmeasured runtime: {result.measured_runtime_s:.6f} s\n"
     )
     print(rendered, end="")
+    # only a run the guards touched gets a stdout line — a clean run's
+    # stdout stays byte-identical to the rendered table artifact
+    if not result.degradation.clean:
+        print(f"guard: {result.degradation.summary()}")
     _log_cache_stats(cache)
     _log_run_health(result.run_report, journal)
+    _log_guard(result.degradation)
     _write_manifest(
         args,
         command="table1",
@@ -508,6 +698,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         cache=cache,
         report=result.run_report,
         journal=journal,
+        guard=result.degradation,
     )
     return 0
 
@@ -530,6 +721,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="machine name (see `repro list`)")
     p.add_argument("--out", required=True, help="signature output directory")
     _add_exec_flags(p)
+    _add_guard_flags(
+        p,
+        trust_help="per-element cross-validation error threshold used by "
+                   "the fit quality gates downstream (default 0.2)",
+    )
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_collect)
 
@@ -548,6 +744,13 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True,
                    help="output .npz path; with a multi-target sweep it "
                         "must contain a {target} placeholder")
+    _add_guard_flags(
+        p,
+        trust_help="per-element relative-error threshold for the "
+                   "leave-one-out cross-validation gate; the fraction of "
+                   "elements under it is reported as the trust fraction "
+                   "(default 0.2)",
+    )
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_extrapolate)
 
@@ -557,6 +760,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="blue_waters_p1",
                    help="machine name (see `repro list`)")
     p.add_argument("--trace", required=True)
+    _add_guard_flags(
+        p,
+        trust_help="minimum extrapolation trust fraction (from the "
+                   "trace's .quality.json sidecar) to accept: below it, "
+                   "--guard strict refuses and --guard degrade warns "
+                   "(default: no floor)",
+        trust_default=None,
+    )
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_predict)
 
@@ -576,6 +787,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--machine", default="blue_waters_p1",
                    help="machine name (see `repro list`)")
     _add_exec_flags(p)
+    _add_guard_flags(
+        p,
+        trust_help="per-element relative-error threshold for the "
+                   "leave-one-out cross-validation gate (default 0.2)",
+    )
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_table1)
 
@@ -604,7 +820,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     try:
         _check_obs_paths(args)
-    except ReproError as exc:
+    except (ReproError, ValidationError) as exc:
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     # per-invocation observability state: a fresh registry and tracer,
@@ -620,8 +836,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         with obs_trace.span(f"cli.{args.command}"):
             return args.fn(args)
-    except ReproError as exc:
-        # structured pipeline/usage error: one actionable line, status 2
+    except (ReproError, ValidationError) as exc:
+        # structured pipeline/usage/validation error: one actionable
+        # line, status 2 (GuardError is a ReproError, so strict-policy
+        # refusals land here too)
         print(f"repro: error: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:

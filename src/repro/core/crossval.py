@@ -10,8 +10,14 @@ the target; elements that fail are flagged for the analyst — typically
 the working sets crossing a cache level right at the training boundary.
 
 This is an extension beyond the paper (its natural "how much should I
-trust this extrapolation?" companion), used by tests and available to
-library users; nothing in the paper-reproduction path depends on it.
+trust this extrapolation?" companion).  It is wired into the pipeline
+through the guard subsystem: :func:`repro.guard.gates.crossval_gate`
+runs it whenever guarded extrapolation has >= 3 training traces, the
+resulting trust fraction flows into the degradation report, the run
+manifest, and the ``.quality.json`` sidecar written next to each
+synthesized trace, and ``repro predict --trust-threshold`` turns it
+into an acceptance floor.  The scores are advisory — they flag
+elements, never alter extrapolated values.
 """
 
 from __future__ import annotations

@@ -132,6 +132,49 @@ def _build_trace(
     return out
 
 
+def synthesize_element_vector(
+    fits: Sequence,
+    schema,
+    target_n_ranks: int,
+    rate_trust_factor: float,
+) -> np.ndarray:
+    """Reference synthesis of one instruction's feature vector.
+
+    ``fits`` is the per-feature list of
+    :class:`~repro.core.fitting.ElementFit` objects for one
+    ``(block, instr)`` pair, in schema field order.  Applies the full
+    scalar pipeline — physicality-aware selection, bounds clamping, the
+    rate trust region (re-clamped), hit-rate re-monotonization — and is
+    shared between the reference engine and the guard subsystem's
+    cross-engine spot check (which refits a keyed-RNG sample of pairs
+    with the reference engine and compares against the batched output).
+    """
+    vec = schema.empty_vector()
+    for j, feature in enumerate(schema.fields):
+        fit = fits[j]
+        bounds = schema.bounds(feature)
+        value = fit.predict(target_n_ranks, bounds)
+        if schema.is_rate_field(feature) and np.isfinite(rate_trust_factor):
+            last = float(fit.train_y[-1])
+            spread = float(np.ptp(fit.train_y))
+            value = float(
+                np.clip(
+                    value,
+                    last - rate_trust_factor * spread,
+                    last + rate_trust_factor * spread,
+                )
+            )
+            # the trust cap can re-introduce out-of-range values when
+            # the training series itself strays out of bounds —
+            # physical bounds always win
+            value = float(np.clip(value, *bounds))
+        vec[j] = value
+    # cumulative hit rates must be non-decreasing outward
+    hr_slice = schema.hit_rate_slice
+    vec[hr_slice] = np.clip(np.maximum.accumulate(vec[hr_slice]), 0.0, 1.0)
+    return vec
+
+
 def _synthesize_reference(
     report: FitReport,
     template: TraceFile,
@@ -142,37 +185,15 @@ def _synthesize_reference(
     must agree with): select, clamp, trust-region cap, re-clamp,
     monotonize, re-clamp."""
     schema = template.schema
-    hr_slice = schema.hit_rate_slice
     vectors: Dict[Tuple[int, int], np.ndarray] = {}
     for bid in sorted(template.blocks):
         for k in range(template.blocks[bid].n_instructions):
-            vec = schema.empty_vector()
-            for j, feature in enumerate(schema.fields):
-                fit = report.fit_for(bid, k, feature)
-                bounds = schema.bounds(feature)
-                value = fit.predict(target_n_ranks, bounds)
-                if schema.is_rate_field(feature) and np.isfinite(
-                    rate_trust_factor
-                ):
-                    last = float(fit.train_y[-1])
-                    spread = float(np.ptp(fit.train_y))
-                    value = float(
-                        np.clip(
-                            value,
-                            last - rate_trust_factor * spread,
-                            last + rate_trust_factor * spread,
-                        )
-                    )
-                    # the trust cap can re-introduce out-of-range values
-                    # when the training series itself strays out of
-                    # bounds — physical bounds always win
-                    value = float(np.clip(value, *bounds))
-                vec[j] = value
-            # cumulative hit rates must be non-decreasing outward
-            vec[hr_slice] = np.clip(
-                np.maximum.accumulate(vec[hr_slice]), 0.0, 1.0
+            fits = [
+                report.fit_for(bid, k, feature) for feature in schema.fields
+            ]
+            vectors[(bid, k)] = synthesize_element_vector(
+                fits, schema, target_n_ranks, rate_trust_factor
             )
-            vectors[(bid, k)] = vec
     return vectors
 
 

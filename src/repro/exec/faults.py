@@ -27,6 +27,11 @@ Fault kinds:
 ``corrupt``  truncate a just-written signature-cache entry (matched
            against the cache key; consumed by
            :meth:`repro.exec.sigcache.SignatureCache.put`)
+``poison-trace``  overwrite one trace feature element with an invalid
+           value (NaN by default; any float via ``value``) right after
+           collection (matched against the rank task key; consumed by
+           :func:`poison_trace` in the collection path) — the fault
+           that exercises the guard subsystem's degradation ladder
 =========  ==========================================================
 """
 
@@ -48,7 +53,7 @@ from repro.util.errors import TaskCrashError, TransientTaskError
 #: environment variable holding a JSON plan (or ``@path`` to one)
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
-KINDS = ("raise", "hang", "crash", "corrupt")
+KINDS = ("raise", "hang", "crash", "corrupt", "poison-trace")
 
 #: exit status used by injected worker crashes (recognizable in logs)
 CRASH_EXIT_CODE = 17
@@ -63,6 +68,16 @@ class FaultSpec:
     attempts: Tuple[int, ...] = (1,)  #: 1-based attempt numbers that fire
     seconds: float = 3600.0  #: hang duration (``hang`` only)
     message: str = "injected fault"
+    # poison-trace targeting: which element to overwrite, and with what.
+    # Block/instruction indices are positions in the sorted trace (taken
+    # modulo the trace's actual sizes, so "0" always hits something).
+    # ``value=None`` means NaN — kept out of the field itself so specs
+    # stay ``==``-comparable and the JSON stays standard (null, not the
+    # nonstandard ``NaN`` literal).
+    feature: str = "exec_count"
+    block_index: int = 0
+    instr_index: int = 0
+    value: Optional[float] = None
 
     def __post_init__(self):
         if self.kind not in KINDS:
@@ -99,6 +114,10 @@ class FaultPlan:
                     "attempts": list(s.attempts),
                     "seconds": s.seconds,
                     "message": s.message,
+                    "feature": s.feature,
+                    "block_index": s.block_index,
+                    "instr_index": s.instr_index,
+                    "value": s.value,
                 }
                 for s in self.specs
             ]
@@ -118,6 +137,13 @@ class FaultPlan:
                     attempts=tuple(entry.get("attempts", (1,))),
                     seconds=float(entry.get("seconds", 3600.0)),
                     message=entry.get("message", "injected fault"),
+                    feature=entry.get("feature", "exec_count"),
+                    block_index=int(entry.get("block_index", 0)),
+                    instr_index=int(entry.get("instr_index", 0)),
+                    value=(
+                        None if entry.get("value") is None
+                        else float(entry["value"])
+                    ),
                 )
             )
         return cls(specs=tuple(specs))
@@ -193,6 +219,33 @@ def apply_fault(key: str, attempt: int = 1) -> None:
     raise TaskCrashError(
         spec.message + " (serial crash)", task_key=key, attempts=attempt
     )
+
+
+def poison_trace(trace, key: str, attempt: int = 1):
+    """Apply every planned ``poison-trace`` fault to a collected trace.
+
+    Called by the collection path right after a rank trace is produced,
+    with the same task key the execution faults use
+    (``collect:<app>:<n>:rank<r>``) — so one ``REPRO_FAULT_PLAN``
+    drives both recovery *and* guardrail scenarios.  Mutates and
+    returns the trace; a no-op without an active plan or matching spec.
+    """
+    plan = active_plan()
+    if plan is None:
+        return trace
+    for spec in plan.specs:
+        if spec.kind != "poison-trace" or not spec.matches(key, attempt):
+            continue
+        blocks = trace.sorted_blocks()
+        if not blocks:
+            continue
+        block = blocks[spec.block_index % len(blocks)]
+        if not block.instructions:
+            continue
+        ins = block.instructions[spec.instr_index % len(block.instructions)]
+        value = float("nan") if spec.value is None else spec.value
+        ins.features[trace.schema.index(spec.feature)] = value
+    return trace
 
 
 def check_corrupt(key: str) -> Optional[FaultSpec]:

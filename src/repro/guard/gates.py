@@ -1,0 +1,239 @@
+"""Per-element fit quality gates.
+
+Three complementary signals on a fitted extrapolation:
+
+- **residual gate** — worst relative training residual of each
+  element's selected form; a form that cannot even reproduce its
+  training points will not extrapolate.  Advisory.
+- **cross-validation gate** — leave-last-out held-out error via
+  :mod:`repro.core.crossval`; the extrapolation-direction confidence
+  signal the paper lacks.  Advisory; also yields the ``trust_fraction``
+  surfaced in the CLI summary and run manifest.
+- **cross-engine spot check** — refit a keyed-RNG sample of
+  ``(block, instr)`` pairs with the scalar reference engine and compare
+  the synthesized vectors against the batched engine's output.  The two
+  engines agree to ~1e-9 relative on valid inputs, so any disagreement
+  beyond tolerance marks a genuine anomaly: the element is flagged and
+  the reference vector is the fallback.  This is the one gate whose
+  flags *act* (they cannot fire on clean inputs, so acting preserves
+  the clean-run bit-identity invariant).
+
+Advisory flags (``warn``) are recorded in the
+:class:`~repro.guard.degrade.DegradationReport` but never alter output
+and never refuse — with three training points, statistical gates flag
+clean data too (see DESIGN.md §7.7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.canonical import CanonicalForm, fit_all
+from repro.core.crossval import cross_validate_traces
+from repro.core.extrapolate import synthesize_element_vector
+from repro.core.fitting import BatchedFitReport, ElementFit, FitReport
+from repro.guard.config import GuardConfig
+from repro.trace.tracefile import TraceFile
+from repro.util.rng import stream
+
+
+@dataclass(frozen=True)
+class GateFlag:
+    """One element flagged by one quality gate."""
+
+    gate: str  #: "residual" | "crossval" | "spot-check"
+    block_id: int
+    instr_id: int
+    feature: str
+    score: float  #: the gate's error measure for this element
+    threshold: float  #: the limit it exceeded
+
+    def to_dict(self) -> dict:
+        return {
+            "gate": self.gate,
+            "block_id": self.block_id,
+            "instr_id": self.instr_id,
+            "feature": self.feature,
+            "score": self.score,
+            "threshold": self.threshold,
+        }
+
+
+def residual_gate(
+    report: FitReport, threshold: float
+) -> List[GateFlag]:
+    """Flag elements whose selected form misses its own training data.
+
+    Vectorized on the batched report (one ``predict_all_forms`` pass
+    over the training abscissa); falls back to the per-element loop for
+    the reference report.
+    """
+    flags: List[GateFlag] = []
+    if isinstance(report, BatchedFitReport) and report.batch.n_rows:
+        batch = report.batch
+        # (n_forms, n_rows, n_counts) -> per-row selected-form residuals
+        preds = batch.predict_all_forms(batch.x)
+        chosen = batch.order[:, 0]
+        rows = np.arange(batch.n_rows)
+        selected = preds[chosen, rows, :]
+        denom = np.maximum(np.abs(batch.Y), 1e-12)
+        worst = np.max(np.abs(selected - batch.Y) / denom, axis=1)
+        schema = report.schema
+        for row in np.nonzero(worst > threshold)[0]:
+            pair = report.pair_keys[row // schema.n_features]
+            feature = schema.fields[row % schema.n_features]
+            flags.append(
+                GateFlag(
+                    gate="residual",
+                    block_id=pair[0],
+                    instr_id=pair[1],
+                    feature=feature,
+                    score=float(worst[row]),
+                    threshold=threshold,
+                )
+            )
+        return flags
+    for element in report.elements():
+        score = element.training_max_rel_error()
+        if score > threshold:
+            flags.append(
+                GateFlag(
+                    gate="residual",
+                    block_id=element.block_id,
+                    instr_id=element.instr_id,
+                    feature=element.feature,
+                    score=score,
+                    threshold=threshold,
+                )
+            )
+    return flags
+
+
+@dataclass
+class CrossvalOutcome:
+    """Leave-one-out gate result: flags plus the trust summary."""
+
+    trust_fraction: float
+    median_error: float
+    n_elements: int
+    flags: List[GateFlag] = field(default_factory=list)
+
+
+def crossval_gate(
+    traces: Sequence[TraceFile],
+    threshold: float,
+    *,
+    forms: Sequence[CanonicalForm],
+) -> Optional[CrossvalOutcome]:
+    """Leave-last-out confidence gate; ``None`` with < 3 traces."""
+    if len(traces) < 3:
+        return None
+    report = cross_validate_traces(traces, forms=forms)
+    outcome = CrossvalOutcome(
+        trust_fraction=report.trust_fraction(threshold),
+        median_error=report.median_error(),
+        n_elements=len(report.elements),
+    )
+    for element in report.flagged(threshold):
+        outcome.flags.append(
+            GateFlag(
+                gate="crossval",
+                block_id=element.block_id,
+                instr_id=element.instr_id,
+                feature=element.feature,
+                score=element.held_out_error,
+                threshold=threshold,
+            )
+        )
+    return outcome
+
+
+@dataclass
+class SpotCheckOutcome:
+    """Cross-engine comparison result over a keyed-RNG pair sample."""
+
+    checked_pairs: List[Tuple[int, int]] = field(default_factory=list)
+    flags: List[GateFlag] = field(default_factory=list)
+    #: reference vectors per disagreeing (target, pair) — the fallback
+    reference: Dict[Tuple[int, Tuple[int, int]], np.ndarray] = field(
+        default_factory=dict
+    )
+
+
+def spot_check_gate(
+    report: BatchedFitReport,
+    synthesized: Dict[int, Dict[Tuple[int, int], np.ndarray]],
+    *,
+    forms: Sequence[CanonicalForm],
+    rate_trust_factor: float,
+    config: GuardConfig,
+    seed_tokens: Sequence = (),
+) -> SpotCheckOutcome:
+    """Compare batched-engine output with a reference refit of a sample.
+
+    ``synthesized`` maps each target count to the batched engine's
+    per-pair feature vectors.  The pair sample is drawn from the keyed
+    stream ``("guard", "spotcheck", *seed_tokens)``, so identical runs
+    check identical pairs.
+    """
+    outcome = SpotCheckOutcome()
+    n_pairs = len(report.pair_keys)
+    if n_pairs == 0 or config.spot_check_fraction <= 0:
+        return outcome
+    want = max(
+        config.spot_check_min,
+        int(np.ceil(config.spot_check_fraction * n_pairs)),
+    )
+    want = min(want, n_pairs)
+    rng = stream("guard", "spotcheck", *seed_tokens, n_pairs)
+    sample = sorted(
+        int(p) for p in rng.choice(n_pairs, size=want, replace=False)
+    )
+    schema = report.schema
+    x = report.batch.x
+    for p in sample:
+        bid, k = report.pair_keys[p]
+        outcome.checked_pairs.append((bid, k))
+        # independent reference refit of every feature of this pair,
+        # straight from the training series the batched engine saw
+        fits = []
+        for j, feature in enumerate(schema.fields):
+            row = p * schema.n_features + j
+            y = report.batch.Y[row]
+            fits.append(
+                ElementFit(
+                    block_id=bid,
+                    instr_id=k,
+                    feature=feature,
+                    candidates=fit_all(x, y, forms),
+                    train_x=x,
+                    train_y=y.copy(),
+                )
+            )
+        for target, vectors in synthesized.items():
+            ref = synthesize_element_vector(
+                fits, schema, target, rate_trust_factor
+            )
+            actual = vectors[(bid, k)]
+            close = np.isclose(
+                actual, ref, rtol=config.spot_check_rtol, atol=1e-12
+            )
+            if close.all():
+                continue
+            outcome.reference[(target, (bid, k))] = ref
+            for j in np.nonzero(~close)[0]:
+                denom = max(abs(float(ref[j])), 1e-12)
+                outcome.flags.append(
+                    GateFlag(
+                        gate="spot-check",
+                        block_id=bid,
+                        instr_id=k,
+                        feature=schema.fields[int(j)],
+                        score=abs(float(actual[j]) - float(ref[j])) / denom,
+                        threshold=config.spot_check_rtol,
+                    )
+                )
+    return outcome

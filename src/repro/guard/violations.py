@@ -1,0 +1,131 @@
+"""Typed, element-addressed guard violations.
+
+A :class:`GuardViolation` names the artifact, the stage boundary it was
+crossing, the check that failed, and — whenever the problem is local to
+one feature element — the ``(block, instr, feature)`` address, so a
+poisoned value surfaces as ``trace element block 2 instr 0 feature
+'exec_count': non-finite value`` rather than a traceback out of a
+linear-algebra kernel three stages later.
+
+Severities rank how a violation participates in the degradation ladder:
+
+=========  ==========================================================
+``warn``   advisory only (quality-gate flags); never alters output and
+           never refuses, even under the ``strict`` policy
+``error``  element-addressed physical violation; degradable (hold the
+           nearest collected value), refusal under ``strict``
+``fatal``  structural damage local degradation cannot repair (schema
+           mismatch, invalid machine profile); escalates straight to
+           trace substitution or refusal
+=========  ==========================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.util.errors import ReproError
+
+#: severity labels, mildest first (index = rank)
+SEVERITIES = ("warn", "error", "fatal")
+
+
+@dataclass(frozen=True)
+class GuardViolation:
+    """One failed guard check on one artifact (or one of its elements)."""
+
+    artifact: str  #: "trace" | "extrapolated-trace" | "fit" | "machine-profile"
+    boundary: str  #: stage boundary crossed, e.g. "collect->fit"
+    check: str  #: failed check, e.g. "finite", "rate-range", "rate-monotone"
+    message: str
+    severity: str = "error"
+    block_id: Optional[int] = None
+    instr_id: Optional[int] = None
+    feature: Optional[str] = None
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {self.severity!r}; known: {SEVERITIES}"
+            )
+
+    @property
+    def rank(self) -> int:
+        return SEVERITIES.index(self.severity)
+
+    @property
+    def element_addressed(self) -> bool:
+        """True when the violation is local to one feature element."""
+        return (
+            self.block_id is not None
+            and self.instr_id is not None
+            and self.feature is not None
+        )
+
+    @property
+    def element(self) -> Optional[str]:
+        """Best-effort address string (full element or partial)."""
+        parts = []
+        if self.block_id is not None:
+            parts.append(f"block {self.block_id}")
+        if self.instr_id is not None:
+            parts.append(f"instr {self.instr_id}")
+        if self.feature is not None:
+            parts.append(f"feature {self.feature!r}")
+        return " ".join(parts) or None
+
+    def describe(self) -> str:
+        """One line: artifact, element address, problem, boundary."""
+        where = f" element {self.element}" if self.element else ""
+        return (
+            f"{self.artifact}{where}: {self.message} "
+            f"[{self.check}, {self.severity}, at {self.boundary}]"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "artifact": self.artifact,
+            "boundary": self.boundary,
+            "check": self.check,
+            "message": self.message,
+            "severity": self.severity,
+            "block_id": self.block_id,
+            "instr_id": self.instr_id,
+            "feature": self.feature,
+        }
+
+
+def worst_severity(violations: Sequence[GuardViolation]) -> Optional[str]:
+    """The highest severity present, or ``None`` for an empty list."""
+    if not violations:
+        return None
+    return SEVERITIES[max(v.rank for v in violations)]
+
+
+class GuardError(ReproError):
+    """A guard refused to let an artifact cross a stage boundary.
+
+    The message leads with the first (most severe) violation's
+    element-addressed one-liner so the CLI's ``repro: error:`` line
+    points at the exact datum, and carries the full violation list for
+    programmatic callers.
+    """
+
+    def __init__(
+        self,
+        violations: Sequence[GuardViolation],
+        *,
+        stage: str = "guard",
+        task_key: Optional[str] = None,
+    ):
+        self.violations: List[GuardViolation] = sorted(
+            violations, key=lambda v: -v.rank
+        )
+        if self.violations:
+            head = self.violations[0].describe()
+            more = len(self.violations) - 1
+            message = head if not more else f"{head} (+{more} more)"
+        else:  # refusal without a specific violation (e.g. no substitute)
+            message = "guard refused the artifact"
+        super().__init__(message, stage=stage, task_key=task_key)

@@ -89,6 +89,7 @@ def build_manifest(
     cache=None,
     report=None,
     journal=None,
+    guard=None,
     tracer=None,
     extra: Optional[dict] = None,
 ) -> dict:
@@ -126,6 +127,8 @@ def build_manifest(
         doc["cache"] = stats.to_dict()
     if report is not None:
         doc["resilience"] = report.to_dict()
+    if guard is not None:
+        doc["guard"] = guard.to_dict() if hasattr(guard, "to_dict") else guard
     if journal is not None:
         stats = getattr(journal, "stats", journal)
         doc["journal"] = stats.to_dict()

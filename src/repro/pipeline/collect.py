@@ -28,6 +28,7 @@ from typing import List, Optional, Sequence, Union
 
 from repro.apps.base import AppModel
 from repro.cache.hierarchy import CacheHierarchy
+from repro.exec import faults
 from repro.exec.pool import run_tasks
 from repro.exec.resilience import ResilienceConfig, RunReport, run_tasks_resilient
 from repro.exec.sigcache import SignatureCache
@@ -84,7 +85,7 @@ def _collect_rank_trace(
     what makes parallel/serial identity trivial."""
     with span("collect.rank", app=app.name, rank=rank, n_ranks=n_ranks):
         program = app.rank_program(rank, n_ranks)
-        return collect_trace(
+        trace = collect_trace(
             program,
             hierarchy,
             app=app.name,
@@ -93,6 +94,9 @@ def _collect_rank_trace(
             config=collector,
             rng=stream("collect", app.name, n_ranks, rank, hierarchy.name),
         )
+        # fault-injection hook: a planned poison-trace spec overwrites
+        # one element here, where a real probe bug would corrupt it
+        return faults.poison_trace(trace, task_key(app.name, n_ranks, rank))
 
 
 def _fan_out(

@@ -25,14 +25,16 @@ from typing import List, Optional, Sequence
 from repro.apps.base import AppModel
 from repro.core.canonical import CanonicalForm, PAPER_FORMS
 from repro.core.errors import abs_rel_error
-from repro.core.extrapolate import (
-    ExtrapolationResult,
-    ExtrapolationSweep,
-    extrapolate_trace,
-    extrapolate_trace_many,
-)
+from repro.core.extrapolate import ExtrapolationResult, ExtrapolationSweep
 from repro.exec.resilience import RunReport
 from repro.exec.sigcache import SignatureCache
+from repro.guard.config import GuardConfig
+from repro.guard.degrade import DegradationReport
+from repro.guard.engine import (
+    check_prediction_inputs,
+    guarded_extrapolate,
+    guarded_extrapolate_many,
+)
 from repro.machine.systems import get_machine, get_spec
 from repro.obs.log import get_logger
 from repro.obs.trace import span
@@ -62,6 +64,9 @@ class Table1Config:
     #: optional checkpoint journal: completed collection units are
     #: committed as they land, so an interrupted run can resume
     journal: Optional[RunJournal] = None
+    #: stage-boundary guardrails (None = off, the library default; the
+    #: CLI defaults to policy "degrade")
+    guard: Optional[GuardConfig] = None
 
 
 @dataclass
@@ -90,6 +95,8 @@ class Table1Result:
     measured_runtime_s: float
     #: recovery events observed during collection (empty when clean)
     run_report: RunReport = field(default_factory=RunReport)
+    #: everything the guards observed and did (clean when guards off)
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
     def extrap_vs_collected_gap(self) -> float:
         """Relative gap between the two predictions (paper: negligible)."""
@@ -103,8 +110,15 @@ def run_table1(
     train_counts: Sequence[int],
     target_count: int,
     config: Optional[Table1Config] = None,
+    *,
+    degradation: Optional[DegradationReport] = None,
 ) -> Table1Result:
-    """Run the Table I protocol for one application."""
+    """Run the Table I protocol for one application.
+
+    ``degradation`` optionally supplies the guard ledger to accumulate
+    into (so a caller keeps the partial record when a ``strict`` run
+    refuses mid-protocol); one is created when omitted.
+    """
     config = config or Table1Config()
     log.info(
         "table1: app=%s train=%s target=%d machine=%s",
@@ -138,10 +152,29 @@ def run_table1(
     ]
     collected = signatures[-1].slowest_trace()
 
-    # 2. extrapolate to the target core count
+    # 2. extrapolate to the target core count (guarded when configured)
+    if degradation is None:
+        degradation = (
+            DegradationReport.for_config(config.guard)
+            if config.guard is not None
+            else DegradationReport(policy="off")
+        )
     with span("fit.extrapolate", app=app.name, target=target_count):
-        extrapolation = extrapolate_trace(
-            training, target_count, forms=config.forms, engine=config.engine
+        extrapolation, degradation = guarded_extrapolate(
+            training,
+            target_count,
+            forms=config.forms,
+            engine=config.engine,
+            config=config.guard,
+            report=degradation,
+        )
+
+    # the guarded engine validated the extrapolated trace as its
+    # postcondition; the collected target trace and the machine profile
+    # enter prediction unvetted, so they get their boundary check here
+    if config.guard is not None and config.guard.enabled:
+        check_prediction_inputs(
+            collected, machine, config=config.guard, report=degradation
         )
 
     # the collected target trace is the expensive one the methodology is
@@ -185,6 +218,7 @@ def run_table1(
         collected_trace=collected,
         measured_runtime_s=measured.runtime_s,
         run_report=report,
+        degradation=degradation,
     )
 
 
@@ -233,6 +267,7 @@ class WhatIfResult:
     rows: List[WhatIfRow]
     sweep: ExtrapolationSweep
     training_traces: List[TraceFile]
+    degradation: DegradationReport = field(default_factory=DegradationReport)
 
 
 def run_whatif_sweep(
@@ -263,11 +298,12 @@ def run_whatif_sweep(
     )
     if training is None:
         training = collect_training_traces(app, train_counts, config, report=report)
-    sweep = extrapolate_trace_many(
+    sweep, degradation = guarded_extrapolate_many(
         training,
         target_counts,
         forms=config.forms,
         engine=config.engine,
+        config=config.guard,
     )
     rows = []
     for result in sweep.results:
@@ -282,5 +318,8 @@ def run_whatif_sweep(
             )
         )
     return WhatIfResult(
-        rows=rows, sweep=sweep, training_traces=list(training)
+        rows=rows,
+        sweep=sweep,
+        training_traces=list(training),
+        degradation=degradation,
     )

@@ -76,6 +76,42 @@ class TraceFile:
     def sorted_blocks(self) -> List[BasicBlockRecord]:
         return [self.blocks[k] for k in sorted(self.blocks)]
 
+    def pair_keys(self) -> List[tuple]:
+        """``(block_id, instr_index)`` keys in canonical (sorted) order.
+
+        The instruction *index* within its block (not ``instr_id``)
+        matches the pair addressing used by the fitting engines and the
+        guard subsystem.
+        """
+        return [
+            (block.block_id, k)
+            for block in self.sorted_blocks()
+            for k in range(block.n_instructions)
+        ]
+
+    def stacked_features(self) -> np.ndarray:
+        """All instruction feature vectors as one (n_pairs, n_features)
+        matrix, rows in :meth:`pair_keys` order.
+
+        Raises ``ValueError`` when any instruction's vector width
+        disagrees with the schema — callers that must not crash on
+        malformed traces (the guard validators) check widths first.
+        """
+        rows = [
+            np.asarray(ins.features, dtype=np.float64)
+            for block in self.sorted_blocks()
+            for ins in block.instructions
+        ]
+        if not rows:
+            return np.zeros((0, self.schema.n_features))
+        matrix = np.stack(rows)
+        if matrix.shape[1] != self.schema.n_features:
+            raise ValueError(
+                f"feature rows have {matrix.shape[1]} columns, schema "
+                f"expects {self.schema.n_features}"
+            )
+        return matrix
+
     def total_memory_ops(self) -> float:
         return sum(b.memory_ops(self.schema) for b in self.blocks.values())
 

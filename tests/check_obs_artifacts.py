@@ -3,7 +3,8 @@
 CI runs this after a traced pipeline invocation::
 
     python tests/check_obs_artifacts.py --trace trace.json \
-        --metrics metrics.json --manifest manifest.json --log log.jsonl
+        --metrics metrics.json --manifest manifest.json --log log.jsonl \
+        --degradation degradation.json
 
 Exit status 0 when every given artifact validates, 1 otherwise (with one
 line per problem on stderr).  Importable too: :func:`check_artifacts`
@@ -49,6 +50,7 @@ def check_artifacts(
     metrics: Optional[_PathLike] = None,
     manifest: Optional[_PathLike] = None,
     log: Optional[_PathLike] = None,
+    degradation: Optional[_PathLike] = None,
     min_stages: int = MIN_TRACE_STAGES,
 ) -> List[str]:
     """Validate whichever artifacts were given; return the problems."""
@@ -86,6 +88,39 @@ def check_artifacts(
                 f"manifest: {p}" for p in validate(doc, _load_schema("manifest"))
             ]
 
+    if degradation is not None:
+        doc = _load_json(degradation, "degradation", problems)
+        if doc is not None:
+            problems += [
+                f"degradation: {p}"
+                for p in validate(doc, _load_schema("degradation"))
+            ]
+            counters = doc.get("counters") or {}
+            # internal consistency: the counters must agree with the
+            # enumerated lists (the acceptance contract for the guard
+            # scenario runs in CI)
+            for counter, key in (
+                ("violations", "violations"),
+                ("gate_flags", "gate_flags"),
+                ("elements_degraded", "degraded_elements"),
+                ("traces_degraded", "degraded_traces"),
+                ("refusals", "refusals"),
+            ):
+                listed = doc.get(key)
+                if isinstance(listed, list) and counters.get(counter) != len(listed):
+                    problems.append(
+                        f"degradation: counter {counter!r} is "
+                        f"{counters.get(counter)} but {key!r} lists "
+                        f"{len(listed)} entries"
+                    )
+            if doc.get("clean") and any(counters.get(c) for c in (
+                "violations", "elements_degraded", "traces_degraded",
+                "refusals", "spot_disagreements",
+            )):
+                problems.append(
+                    "degradation: marked clean despite nonzero counters"
+                )
+
     if log is not None:
         schema = _load_schema("log")
         try:
@@ -113,24 +148,32 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--manifest", default=None, help="run manifest JSON")
     parser.add_argument("--log", default=None, help="JSONL diagnostic log")
     parser.add_argument(
+        "--degradation", default=None,
+        help="guard DegradationReport JSON (from --degradation-out)",
+    )
+    parser.add_argument(
         "--min-stages", type=int, default=MIN_TRACE_STAGES,
         help="minimum distinct pipeline stages the trace must cover",
     )
     args = parser.parse_args(argv)
-    if not any((args.trace, args.metrics, args.manifest, args.log)):
+    if not any(
+        (args.trace, args.metrics, args.manifest, args.log, args.degradation)
+    ):
         parser.error("nothing to check: give at least one artifact path")
     problems = check_artifacts(
         trace=args.trace,
         metrics=args.metrics,
         manifest=args.manifest,
         log=args.log,
+        degradation=args.degradation,
         min_stages=args.min_stages,
     )
     for problem in problems:
         print(f"check_obs_artifacts: {problem}", file=sys.stderr)
     if not problems:
         checked = [
-            name for name in ("trace", "metrics", "manifest", "log")
+            name
+            for name in ("trace", "metrics", "manifest", "log", "degradation")
             if getattr(args, name)
         ]
         print(f"check_obs_artifacts: OK ({', '.join(checked)})")

@@ -131,6 +131,38 @@ class TestWritability:
         assert "does not exist" in err
 
 
+class TestGuardFlags:
+    def test_negative_trust_threshold_exits_2(self, tmp_path, capsys):
+        # ValidationError (a ValueError, not a ReproError) must route
+        # through the same exit-2 one-liner path as the taxonomy errors
+        rc, _, err = _run(
+            capsys,
+            ["extrapolate", "--trace", "t.npz", "--target", "64",
+             "--out", str(tmp_path / "o.npz"), "--trust-threshold", "-1"],
+        )
+        assert rc == 2
+        assert "repro: error:" in err
+        assert "trust_threshold must be positive" in err
+        assert "Traceback" not in err
+
+    def test_unknown_guard_policy_is_argparse_error(self, tmp_path):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["extrapolate", "--trace", "t.npz", "--target", "64",
+                  "--out", str(tmp_path / "o.npz"), "--guard", "panic"])
+        assert excinfo.value.code == 2
+
+    def test_unwritable_degradation_out(self, tmp_path, capsys):
+        target = tmp_path / "isafile"
+        target.write_text("x")
+        rc, _, err = _run(
+            capsys,
+            ["table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+             "--degradation-out", str(target / "d.json")],
+        )
+        assert rc == 2
+        assert "--degradation-out" in err and "not writable" in err
+
+
 class TestResilienceFlags:
     def test_resume_without_cache_rejected(self, tmp_path, capsys):
         rc, _, err = _run(

@@ -105,6 +105,80 @@ class TestApplyFault:
             faults.apply_fault("k", 1)
             assert time.monotonic() - start >= 0.04
 
+    def test_poison_trace_defaults_to_nan(self):
+        from tests.test_guard_validators import SCHEMA, make_trace
+
+        trace = make_trace()
+        plan = FaultPlan(specs=(FaultSpec(key="k", kind="poison-trace"),))
+        with faults.injected(plan):
+            assert faults.poison_trace(trace, "k") is trace
+        value = trace.blocks[0].instructions[0].features[
+            SCHEMA.index("exec_count")
+        ]
+        assert value != value  # NaN (spec.value=None means NaN)
+
+    def test_poison_trace_explicit_value_and_indices(self):
+        from tests.test_guard_validators import SCHEMA, make_trace
+
+        trace = make_trace()
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    key="k", kind="poison-trace", feature="hit_rate_L1",
+                    block_index=1, instr_index=1, value=2.5,
+                ),
+            )
+        )
+        with faults.injected(plan):
+            faults.poison_trace(trace, "k")
+        vec = trace.blocks[1].instructions[1].features
+        assert vec[SCHEMA.index("hit_rate_L1")] == 2.5
+
+    def test_poison_trace_indices_wrap_modulo(self):
+        # indices beyond the trace's extent still land deterministically
+        from tests.test_guard_validators import SCHEMA, make_trace
+
+        trace = make_trace()  # 2 blocks x 2 instructions
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(
+                    key="k", kind="poison-trace",
+                    block_index=5, instr_index=7, value=-9.0,
+                ),
+            )
+        )
+        with faults.injected(plan):
+            faults.poison_trace(trace, "k")
+        vec = trace.blocks[5 % 2].instructions[7 % 2].features
+        assert vec[SCHEMA.index("exec_count")] == -9.0
+
+    def test_poison_trace_noop_without_match(self):
+        import numpy as np
+
+        from tests.test_guard_validators import make_trace
+
+        trace = make_trace()
+        before = trace.stacked_features().copy()
+        faults.poison_trace(trace, "k")  # no plan at all
+        plan = FaultPlan(specs=(FaultSpec(key="other", kind="poison-trace"),))
+        with faults.injected(plan):
+            faults.poison_trace(trace, "k")
+        np.testing.assert_array_equal(trace.stacked_features(), before)
+
+    def test_poison_spec_json_roundtrip(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec(key="p", kind="poison-trace"),  # value=None -> NaN
+                FaultSpec(
+                    key="q", kind="poison-trace", feature="mem_ops",
+                    block_index=1, instr_index=0, value=-1.0,
+                ),
+            )
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+        # None survives as JSON null, never the nonstandard NaN literal
+        assert "NaN" not in plan.to_json()
+
     def test_check_corrupt_counts_stores_per_key(self):
         plan = FaultPlan(
             specs=(FaultSpec(key="c", kind="corrupt", attempts=(2,)),)

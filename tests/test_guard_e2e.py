@@ -1,0 +1,254 @@
+"""End-to-end tests: guardrails through the CLI (the acceptance run).
+
+The combined fault scenario from the issue: one ``REPRO_FAULT_PLAN``
+injects a poisoned trace element AND a corrupted cache entry into a
+Table I run.  Under ``--guard degrade`` the run completes, with the
+DegradationReport enumerating exactly the degraded elements and the
+manifest/metrics ``guard.*`` counters agreeing; under ``--guard
+strict`` it exits 2 with an element-addressed one-liner.  Clean inputs
+produce bit-identical artifacts with guards on or off.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.cli import QUALITY_SIDECAR_SUFFIX, main
+from repro.exec import faults
+from repro.exec.faults import FaultPlan, FaultSpec
+from repro.obs import manifest as obs_manifest
+from tests.check_obs_artifacts import check_artifacts
+
+#: poison the slowest-rank trace of the count-8 training run; corrupt
+#: the first cache store of the run (the count-4 signature)
+COMBINED_PLAN = FaultPlan(
+    specs=(
+        FaultSpec(key="collect:jacobi:8:rank*", kind="poison-trace"),
+        FaultSpec(key="*", kind="corrupt", attempts=(1,)),
+    )
+)
+
+
+def _table1_args(run_dir: Path, cache_dir: Path, policy: str) -> list:
+    return [
+        "table1", "--app", "jacobi", "--train", "4,8", "--target", "16",
+        "--workers", "0", "--cache-dir", str(cache_dir),
+        "--guard", policy,
+        "--degradation-out", str(run_dir / "degradation.json"),
+        "--metrics-out", str(run_dir / "metrics.json"),
+        "--manifest-out", str(run_dir / "manifest.json"),
+    ]
+
+
+@pytest.fixture(scope="module")
+def faulted_degrade_run(tmp_path_factory):
+    """The combined-fault table1 run under --guard degrade, twice over a
+    shared cache (run 2 additionally exercises quarantine + recollect)."""
+    base = tmp_path_factory.mktemp("guard-e2e")
+    cache_dir = base / "cache"
+    runs = []
+    import contextlib
+    import io
+
+    with faults.injected(COMBINED_PLAN):
+        for name in ("run1", "run2"):
+            run_dir = base / name
+            run_dir.mkdir()
+            stdout = io.StringIO()
+            with contextlib.redirect_stdout(stdout):
+                rc = main(_table1_args(run_dir, cache_dir, "degrade"))
+            runs.append(
+                {
+                    "rc": rc,
+                    "dir": run_dir,
+                    "stdout": stdout.getvalue(),
+                    "degradation": json.loads(
+                        (run_dir / "degradation.json").read_text()
+                    ),
+                    "metrics": json.loads(
+                        (run_dir / "metrics.json").read_text()
+                    ),
+                    "manifest": json.loads(
+                        (run_dir / "manifest.json").read_text()
+                    ),
+                }
+            )
+    return {"cache_dir": cache_dir, "runs": runs}
+
+
+class TestDegradeCompletes:
+    def test_both_runs_complete(self, faulted_degrade_run):
+        for run in faulted_degrade_run["runs"]:
+            assert run["rc"] == 0
+            assert "Table I" in run["stdout"]
+
+    def test_exactly_the_poisoned_element_degraded(self, faulted_degrade_run):
+        for run in faulted_degrade_run["runs"]:
+            doc = run["degradation"]
+            assert doc["policy"] == "degrade" and not doc["clean"]
+            # the plan poisons exactly one element (block 0, instr 0,
+            # exec_count by spec defaults) of one training trace
+            (violation,) = doc["violations"]
+            assert violation["check"] == "finite"
+            assert violation["feature"] == "exec_count"
+            (element,) = doc["degraded_elements"]
+            assert element["action"] == "hold-nearest"
+            assert element["feature"] == "exec_count"
+            assert (element["block_id"], element["instr_id"]) == (
+                violation["block_id"], violation["instr_id"],
+            )
+            assert doc["degraded_traces"] == [] and doc["refusals"] == []
+
+    def test_degradation_report_validates(self, faulted_degrade_run):
+        for run in faulted_degrade_run["runs"]:
+            assert check_artifacts(
+                degradation=run["dir"] / "degradation.json",
+                manifest=run["dir"] / "manifest.json",
+                metrics=run["dir"] / "metrics.json",
+            ) == []
+
+    def test_manifest_and_metrics_counters_agree(self, faulted_degrade_run):
+        for run in faulted_degrade_run["runs"]:
+            guard = run["manifest"]["guard"]
+            assert guard == run["degradation"]
+            counters = run["metrics"]["counters"]
+            for name, value in guard["counters"].items():
+                assert counters.get(f"guard.{name}", 0) == value
+            assert guard["counters"]["violations"] == 1
+            assert guard["counters"]["elements_degraded"] == 1
+
+    def test_stdout_carries_guard_summary(self, faulted_degrade_run):
+        for run in faulted_degrade_run["runs"]:
+            assert "guard:" in run["stdout"]
+            assert "elements degraded: 1" in run["stdout"]
+
+    def test_second_run_hit_cache_corruption(self, faulted_degrade_run):
+        # run 1 stored a truncated entry; run 2 quarantined and
+        # recollected it rather than crashing or trusting garbage
+        second = faulted_degrade_run["runs"][1]["manifest"]
+        assert second["cache"]["corrupt"] >= 1
+
+
+class TestStrictRefuses:
+    def test_exit_2_with_element_addressed_line(
+        self, faulted_degrade_run, tmp_path, capsys
+    ):
+        run_dir = tmp_path / "strict"
+        run_dir.mkdir()
+        with faults.injected(COMBINED_PLAN):
+            rc = main(
+                _table1_args(
+                    run_dir, faulted_degrade_run["cache_dir"], "strict"
+                )
+            )
+        captured = capsys.readouterr()
+        assert rc == 2
+        (line,) = [
+            ln for ln in captured.err.splitlines()
+            if ln.startswith("repro: error:")
+        ]
+        assert "feature 'exec_count'" in line
+        assert "block" in line and "instr" in line
+        assert "Traceback" not in captured.err
+        # the partial ledger was still exported for post-mortem
+        doc = json.loads((run_dir / "degradation.json").read_text())
+        assert doc["counters"]["violations"] == 1
+
+
+class TestCleanBitIdentity:
+    @pytest.fixture(scope="class")
+    def trace_files(self, jacobi_traces, tmp_path_factory):
+        base = tmp_path_factory.mktemp("guard-clean")
+        paths = []
+        for trace in jacobi_traces:
+            p = base / f"train{trace.n_ranks}.npz"
+            trace.save_npz(p)
+            paths.append(str(p))
+        return paths
+
+    def _extrapolate(self, trace_files, out: Path, *extra: str) -> int:
+        return main(
+            ["extrapolate", "--trace", *trace_files, "--target", "64",
+             "--out", str(out), *extra]
+        )
+
+    def test_npz_identical_guards_on_vs_off(
+        self, trace_files, tmp_path, capsys
+    ):
+        on = tmp_path / "on.npz"
+        off = tmp_path / "off.npz"
+        assert self._extrapolate(trace_files, on, "--guard", "degrade") == 0
+        assert self._extrapolate(trace_files, off, "--guard", "off") == 0
+        capsys.readouterr()
+        assert obs_manifest.digest_file(on) == obs_manifest.digest_file(off)
+        # trust data lives in the sidecar, never in the trace itself
+        assert Path(str(on) + QUALITY_SIDECAR_SUFFIX).exists()
+        assert not Path(str(off) + QUALITY_SIDECAR_SUFFIX).exists()
+
+    def test_guarded_extrapolate_reports_trust(
+        self, trace_files, tmp_path, capsys
+    ):
+        out = tmp_path / "t.npz"
+        assert self._extrapolate(trace_files, out, "--guard", "degrade") == 0
+        stdout = capsys.readouterr().out
+        assert "cross-validation trust fraction" in stdout
+        sidecar = json.loads(
+            Path(str(out) + QUALITY_SIDECAR_SUFFIX).read_text()
+        )
+        assert sidecar["clean"] is True
+        assert 0.0 <= sidecar["trust_fraction"] <= 1.0
+
+
+class TestPredictTrustFloor:
+    @pytest.fixture()
+    def low_trust_trace(self, jacobi_traces, tmp_path):
+        trace = jacobi_traces[-1]
+        path = tmp_path / "extrap.npz"
+        trace.save_npz(path)
+        sidecar = {
+            "schema_version": 1,
+            "policy": "degrade",
+            "clean": True,
+            "trust_threshold": 0.2,
+            "trust_fraction": 0.1,
+            "crossval_median_error": 0.5,
+            "flagged_elements": 9,
+            "degraded_elements": [],
+            "degraded_traces": [],
+        }
+        Path(str(path) + QUALITY_SIDECAR_SUFFIX).write_text(
+            json.dumps(sidecar)
+        )
+        return {"path": str(path), "ranks": trace.n_ranks}
+
+    def _predict(self, spec, *extra: str) -> int:
+        return main(
+            ["predict", "--app", "jacobi", "--ranks", str(spec["ranks"]),
+             "--trace", spec["path"], *extra]
+        )
+
+    def test_strict_refuses_below_floor(self, low_trust_trace, capsys):
+        rc = self._predict(
+            low_trust_trace, "--guard", "strict", "--trust-threshold", "0.5"
+        )
+        captured = capsys.readouterr()
+        assert rc == 2
+        assert "trust fraction 0.100 below" in captured.err
+
+    def test_degrade_warns_and_predicts(self, low_trust_trace, capsys):
+        rc = self._predict(
+            low_trust_trace, "--guard", "degrade", "--trust-threshold", "0.5"
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "predicted runtime" in captured.out
+        assert "trust fraction 0.100" in captured.out
+
+    def test_no_floor_no_refusal(self, low_trust_trace, capsys):
+        rc = self._predict(low_trust_trace, "--guard", "strict")
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "predicted runtime" in captured.out

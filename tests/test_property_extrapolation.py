@@ -5,7 +5,7 @@ import pytest
 from hypothesis import assume, given, settings, strategies as st
 
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS, fit_all, fit_best
-from repro.core.extrapolate import extrapolate_trace
+from repro.core.extrapolate import extrapolate_trace, extrapolate_trace_many
 from repro.core.fitting import fit_feature_series
 from repro.trace.features import FeatureSchema
 from repro.trace.records import BasicBlockRecord, InstructionRecord, SourceLocation
@@ -119,20 +119,61 @@ def trace_series(draw):
     return traces
 
 
+def assert_physical(trace):
+    for block in trace.blocks.values():
+        for ins in block.instructions:
+            vec = ins.features
+            assert np.all(np.isfinite(vec))
+            rates = SCHEMA.hit_rates(vec)
+            assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
+            assert np.all(np.diff(rates) >= 0)
+            for f in ("exec_count", "mem_ops", "loads", "stores"):
+                assert vec[SCHEMA.index(f)] >= 0.0
+
+
+#: adversarial targets relative to the (64, 128, 256) training counts:
+#: below, at a training count, between two, and far beyond
+ADVERSARIAL_TARGETS = [32, 128, 192, 4096]
+
+
 class TestExtrapolationProperties:
     @given(trace_series())
     @settings(max_examples=25, deadline=None)
     def test_output_always_physical(self, traces):
         res = extrapolate_trace(traces, 1024)
-        for block in res.trace.blocks.values():
-            for ins in block.instructions:
-                vec = ins.features
-                assert np.all(np.isfinite(vec))
-                rates = SCHEMA.hit_rates(vec)
-                assert np.all(rates >= 0.0) and np.all(rates <= 1.0)
-                assert np.all(np.diff(rates) >= 0)
-                for f in ("exec_count", "mem_ops", "loads", "stores"):
-                    assert vec[SCHEMA.index(f)] >= 0.0
+        assert_physical(res.trace)
+
+    @pytest.mark.parametrize("engine", ["batched", "reference"])
+    @given(traces=trace_series())
+    @settings(max_examples=15, deadline=None)
+    def test_physical_at_adversarial_targets_both_engines(
+        self, engine, traces
+    ):
+        """Both engines synthesize only physical traces, even when asked
+        to 'extrapolate' below, onto, or between the training counts —
+        the guard subsystem's postcondition check must never fire on
+        clean inputs at any target."""
+        sweep = extrapolate_trace_many(
+            traces, ADVERSARIAL_TARGETS, engine=engine
+        )
+        assert [r.target_n_ranks for r in sweep.results] == ADVERSARIAL_TARGETS
+        for res in sweep.results:
+            assert res.trace.extrapolated
+            assert res.trace.n_ranks == res.target_n_ranks
+            assert_physical(res.trace)
+
+    @given(trace_series())
+    @settings(max_examples=10, deadline=None)
+    def test_guarded_postcondition_holds_on_clean_inputs(self, traces):
+        """validate_trace finds nothing to flag in any synthesized trace
+        — the executable form of the bit-identity invariant's premise."""
+        from repro.guard.validators import validate_trace
+
+        sweep = extrapolate_trace_many(traces, ADVERSARIAL_TARGETS)
+        for res in sweep.results:
+            assert validate_trace(
+                res.trace, boundary="extrapolate->predict"
+            ) == []
 
     @given(trace_series())
     @settings(max_examples=25, deadline=None)
