@@ -87,3 +87,144 @@ def test_stage_timings_and_tracing_overhead():
         f"span tracing cost {overhead_pct:.1f}% wall-clock on the smoke "
         f"row (budget {MAX_OVERHEAD_PCT}%)"
     )
+
+
+# ----------------------------------------------------------------------
+# cache engines: exact replay vs analytical reuse profiles
+
+
+def _random_workload():
+    """A Table III-style L1 what-if sweep over random-stream blocks.
+
+    Random streams are the reuse engine's fast path (no congruence
+    passes), and the regime the paper-scale sweeps live in.  The target
+    hierarchies vary the L1 (and one L2) around a fixed outer level, so
+    every geometry samples the identical streams: the analytical sweep
+    profiles each block *once* and re-evaluates per geometry, while the
+    exact engine replays the full streams per geometry.
+    """
+    from repro.cache.geometry import CacheGeometry
+    from repro.cache.hierarchy import CacheHierarchy
+    from repro.instrument.program import (
+        BasicBlockSpec,
+        MemInstructionSpec,
+        Program,
+    )
+    from repro.memstream.patterns import RandomPattern
+    from repro.trace.records import SourceLocation
+
+    region = (2 if SMOKE else 8) * 1024 * 1024
+    execs = 200_000 if SMOKE else 600_000
+    program = Program(name="bench-random")
+    for bid in range(3):
+        program.add_block(
+            BasicBlockSpec(
+                block_id=bid,
+                location=SourceLocation(f"blk{bid}", file="bench.c", line=bid),
+                mem_instructions=(
+                    MemInstructionSpec(
+                        "load", RandomPattern(region_bytes=region), 2
+                    ),
+                    MemInstructionSpec(
+                        "store", RandomPattern(region_bytes=region // 2), 1
+                    ),
+                ),
+                exec_count=execs,
+            )
+        )
+    big = 1 << 21  # shared largest level: identical sampled streams
+    l1_variants = [
+        (size * 1024, assoc)
+        for size in (8, 16, 32, 64, 128)
+        for assoc in (2, 8)
+    ]
+    hierarchies = [
+        CacheHierarchy(
+            [
+                CacheGeometry(size_bytes=size, associativity=assoc, name="L1"),
+                CacheGeometry(size_bytes=big, associativity=16, name="L2"),
+            ],
+            name=f"l1-{size // 1024}k-{assoc}w",
+        )
+        for size, assoc in l1_variants
+    ]
+    hierarchies.append(
+        CacheHierarchy(
+            [
+                CacheGeometry(size_bytes=16 * 1024, associativity=4, name="L1"),
+                CacheGeometry(size_bytes=256 * 1024, associativity=8, name="L2"),
+                CacheGeometry(size_bytes=big, associativity=16, name="L3"),
+            ],
+            name="three-level",
+        )
+    )
+    if SMOKE:
+        hierarchies = hierarchies[::3]
+    return program.layout(), hierarchies
+
+
+#: the tentpole's speedup floor: analytical sweep vs exact replay.
+#: Smoke mode shrinks the workload until replay overheads dominate, so
+#: it only sanity-checks direction, not the full-scale ratio.
+MIN_SPEEDUP = 3.0 if SMOKE else 20.0
+
+
+def test_collect_exact_vs_reuse():
+    from repro.cache.reuse import configure_profile_cache
+    from repro.instrument.collector import CollectorConfig, collect_trace
+
+    program, hierarchies = _random_workload()
+
+    def sweep(engine):
+        traces = []
+        t0 = time.perf_counter()
+        for hierarchy in hierarchies:
+            traces.append(
+                collect_trace(
+                    program,
+                    hierarchy,
+                    app="bench-random",
+                    rank=0,
+                    n_ranks=4,
+                    config=CollectorConfig(engine=engine),
+                )
+            )
+        return time.perf_counter() - t0, traces
+
+    configure_profile_cache(None)  # fresh in-memory profile store
+    t_exact, exact_traces = sweep("exact")
+    t_reuse, reuse_traces = sweep("reuse")
+
+    max_err = 0.0
+    for te, tr in zip(exact_traces, reuse_traces):
+        schema = te.schema
+        for bid in sorted(te.blocks):
+            for ie, ia in zip(
+                te.blocks[bid].instructions, tr.blocks[bid].instructions
+            ):
+                he = np.asarray(ie.features[schema.hit_rate_slice])
+                ha = np.asarray(ia.features[schema.hit_rate_slice])
+                max_err = max(max_err, float(np.abs(ha - he).max()))
+
+    speedup = t_exact / t_reuse
+    merge_bench(
+        "BENCH_pipeline",
+        {
+            "collect_exact_vs_reuse": {
+                "smoke": SMOKE,
+                "hierarchies": len(hierarchies),
+                "exact_s": round(t_exact, 3),
+                "reuse_s": round(t_reuse, 3),
+                "speedup": round(speedup, 1),
+                "max_abs_hit_rate_err": round(max_err, 5),
+            }
+        },
+    )
+    assert max_err <= 0.02, (
+        f"reuse engine off by {max_err:.4f} from exact on the "
+        "random-stream workload (budget 0.02 per instruction and level)"
+    )
+    assert speedup >= MIN_SPEEDUP, (
+        f"analytical sweep only {speedup:.1f}x faster than exact replay "
+        f"(floor {MIN_SPEEDUP}x)"
+    )

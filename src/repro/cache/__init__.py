@@ -6,27 +6,56 @@ pushed through a simulator configured like the *target* system's memory
 hierarchy, producing per-basic-block cache hit rates for that target —
 without ever running on the target.
 
-Two implementations are provided:
+Three implementations are provided, two of them behind the
+:class:`repro.cache.engine.CacheEngine` interface signature collection
+dispatches on (``--cache-engine``):
 
-- :class:`repro.cache.simulator.HierarchySimulator` — the production
-  engine.  Exact LRU semantics, vectorized over cache sets per the
-  hpc-parallel guides (the Python-level loop is over *rounds* of
-  set-disjoint accesses, not over addresses).
+- :class:`repro.cache.simulator.HierarchySimulator` — the ``exact``
+  engine's replay core.  Exact LRU semantics, vectorized over cache
+  sets per the hpc-parallel guides (the Python-level loop is over
+  *rounds* of set-disjoint accesses, not over addresses).
+- :mod:`repro.cache.reuse` — the ``reuse`` engine's analytical core:
+  one-pass reuse-distance profiles evaluated per geometry in closed
+  form, no replay (DESIGN.md §7.8).
 - :mod:`repro.cache.reference` — a straightforward scalar simulator used
   to cross-validate the vectorized engine in tests.
 """
 
+from repro.cache.engine import (
+    ENGINE_NAMES,
+    CacheEngine,
+    ExactEngine,
+    ReuseEngine,
+    get_engine,
+)
 from repro.cache.geometry import CacheGeometry
 from repro.cache.hierarchy import CacheHierarchy
-from repro.cache.simulator import HierarchySimulator, LevelStats, SimulationResult
 from repro.cache.reference import ReferenceCacheLevel, simulate_reference
+from repro.cache.reuse import (
+    ProfileCache,
+    ReuseProfile,
+    configure_profile_cache,
+    cross_block_lines,
+    profile_cache,
+)
+from repro.cache.simulator import HierarchySimulator, LevelStats, SimulationResult
 
 __all__ = [
     "CacheGeometry",
     "CacheHierarchy",
+    "CacheEngine",
+    "ENGINE_NAMES",
+    "ExactEngine",
+    "ReuseEngine",
+    "get_engine",
     "HierarchySimulator",
     "LevelStats",
     "SimulationResult",
+    "ProfileCache",
+    "ReuseProfile",
+    "configure_profile_cache",
+    "cross_block_lines",
+    "profile_cache",
     "ReferenceCacheLevel",
     "simulate_reference",
 ]

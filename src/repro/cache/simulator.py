@@ -378,19 +378,33 @@ class SimulationResult:
         return np.cumsum(hits) / self.total_accesses
 
     def instruction_cumulative_hit_rates(self, n_instructions: int) -> np.ndarray:
-        """Per-instruction cumulative hit rates, shape (n_instr, n_levels)."""
-        out = np.zeros((n_instructions, len(self.levels)))
+        """Per-instruction cumulative hit rates, shape (n_instr, n_levels).
+
+        One vectorized pass: the per-level hit counters are padded into
+        a dense ``(n_instr, n_levels)`` matrix, cumulative-summed along
+        levels, and divided by the level-0 access totals in a single
+        masked divide (unseen instructions keep all-zero rows).
+        """
+        n_levels = len(self.levels)
+        out = np.zeros((n_instructions, n_levels))
+        if not self.levels or n_instructions == 0:
+            return out
         total = np.zeros(n_instructions, dtype=np.int64)
-        if self.levels:
-            lv0 = self.levels[0]
-            k = min(n_instructions, lv0.instr_accesses.shape[0])
-            total[:k] = lv0.instr_accesses[:k]
-        seen = total > 0
-        cum = np.zeros(n_instructions, dtype=np.float64)
+        lv0 = self.levels[0]
+        k = min(n_instructions, lv0.instr_accesses.shape[0])
+        total[:k] = lv0.instr_accesses[:k]
+        hits = np.zeros((n_instructions, n_levels))
         for j, lv in enumerate(self.levels):
             k = min(n_instructions, lv.instr_hits.shape[0])
-            cum[:k] += lv.instr_hits[:k]
-            out[seen, j] = cum[seen] / total[seen]
+            hits[:k, j] = lv.instr_hits[:k]
+        cum = np.cumsum(hits, axis=1)
+        seen = total > 0
+        np.divide(
+            cum,
+            total[:, None].astype(np.float64),
+            out=out,
+            where=seen[:, None],
+        )
         return out
 
 

@@ -49,6 +49,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.apps.registry import APP_BUILDERS, get_app
+from repro.cache import ENGINE_NAMES, configure_profile_cache
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
 from repro.exec.resilience import ResilienceConfig, RunReport
 from repro.exec.sigcache import SignatureCache
@@ -60,6 +61,7 @@ from repro.guard.engine import (
     guarded_extrapolate_many,
 )
 from repro.guard.violations import GuardError, GuardViolation
+from repro.instrument.collector import CollectorConfig
 from repro.machine.systems import MACHINE_BUILDERS, get_machine, get_spec
 from repro.obs import log as obs_log
 from repro.obs import manifest as obs_manifest
@@ -170,6 +172,13 @@ def _add_exec_flags(p: argparse.ArgumentParser) -> None:
              "(default: one per CPU; 0 = serial)",
     )
     p.add_argument(
+        "--cache-engine", choices=ENGINE_NAMES, default="exact",
+        help="how block hit rates are obtained: 'exact' replays every "
+             "address through the hierarchy simulator; 'reuse' evaluates "
+             "analytical reuse-distance profiles (much faster, ~1e-2 "
+             "accuracy, cross-checked against exact by a guard gate)",
+    )
+    p.add_argument(
         "--no-cache", action="store_true",
         help="always collect fresh, bypassing the signature cache",
     )
@@ -207,6 +216,18 @@ def _build_cache(args: argparse.Namespace) -> Optional[SignatureCache]:
     if args.cache_dir is not None:
         _check_writable("--cache-dir", args.cache_dir, is_dir=True)
     return SignatureCache(args.cache_dir)
+
+
+def _build_collector(
+    args: argparse.Namespace, cache: Optional[SignatureCache]
+) -> CollectorConfig:
+    """Collector knobs from flags.  With the analytical engine and a
+    signature cache, reuse profiles persist next to the signatures so
+    later geometries (and later runs) re-evaluate instead of re-profile."""
+    engine = getattr(args, "cache_engine", "exact")
+    if engine == "reuse" and cache is not None:
+        configure_profile_cache(Path(cache.root) / "profiles")
+    return CollectorConfig(engine=engine)
 
 
 def _build_resilience(args: argparse.Namespace) -> Optional[ResilienceConfig]:
@@ -475,7 +496,9 @@ def cmd_collect(args: argparse.Namespace) -> int:
     report = RunReport()
     degradation = _new_degradation(guard)
     settings = CollectionSettings(
-        workers=args.workers, resilience=_build_resilience(args)
+        collector=_build_collector(args, cache),
+        workers=args.workers,
+        resilience=_build_resilience(args),
     )
     try:
         signature = collect_signatures(
@@ -664,7 +687,9 @@ def cmd_table1(args: argparse.Namespace) -> int:
     config = Table1Config(
         machine=args.machine,
         collection=CollectionSettings(
-            workers=args.workers, resilience=_build_resilience(args)
+            collector=_build_collector(args, cache),
+            workers=args.workers,
+            resilience=_build_resilience(args),
         ),
         cache=cache,
         journal=journal,

@@ -56,6 +56,23 @@ class GuardConfig:
     #: flagged-element fraction beyond which per-element holds give way
     #: to whole-trace substitution (ladder rung 2)
     max_degraded_fraction: float = 0.5
+    #: fraction of profiled blocks the reuse cache engine re-simulates
+    #: exactly per run (0 disables the cross-engine check)
+    cache_check_fraction: float = 0.25
+    #: spot-check at least this many blocks (when the program has them)
+    cache_check_min: int = 1
+    #: per-block access budget of one cross-engine spot check; both
+    #: engines evaluate the same truncated stream, so this bounds the
+    #: exact-replay cost the check pays
+    cache_check_accesses: int = 32_768
+    #: relative tolerance of the cross-engine check (on aggregate
+    #: per-level cumulative hit rates)
+    cache_check_rtol: float = 0.05
+    #: absolute tolerance floor of the cross-engine check; the reuse
+    #: model's set-mixing approximation can sit a few percent off the
+    #: exact replay at a capacity knee, which is approximation error,
+    #: not divergence (DESIGN.md §7.8)
+    cache_check_atol: float = 0.05
 
     def __post_init__(self):
         if self.policy not in POLICIES:
@@ -73,6 +90,14 @@ class GuardConfig:
             "max_degraded_fraction", self.max_degraded_fraction,
             low=0.0, high=1.0,
         )
+        check_in_range(
+            "cache_check_fraction", self.cache_check_fraction,
+            low=0.0, high=1.0,
+        )
+        check_in_range("cache_check_min", self.cache_check_min, low=0)
+        check_positive("cache_check_accesses", self.cache_check_accesses)
+        check_positive("cache_check_rtol", self.cache_check_rtol)
+        check_in_range("cache_check_atol", self.cache_check_atol, low=0.0)
 
     @property
     def enabled(self) -> bool:

@@ -17,6 +17,13 @@ Three complementary signals on a fitted extrapolation:
   the reference vector is the fallback.  This is the one gate whose
   flags *act* (they cannot fire on clean inputs, so acting preserves
   the clean-run bit-identity invariant).
+- **cache-engine spot check** — when collection runs the analytical
+  ``reuse`` cache engine, re-simulate a keyed-RNG sample of blocks
+  *exactly* on a truncated stream and compare per-level aggregate hit
+  rates against the reuse model's evaluation of the identical stream.
+  The tolerance covers the model's documented approximation error
+  (DESIGN.md §7.8), so a flag marks genuine divergence; the engine
+  refuses rather than return silently wrong rates.
 
 Advisory flags (``warn``) are recorded in the
 :class:`~repro.guard.degrade.DegradationReport` but never alter output
@@ -236,4 +243,138 @@ def spot_check_gate(
                         threshold=config.spot_check_rtol,
                     )
                 )
+    return outcome
+
+
+@dataclass
+class CacheCheckOutcome:
+    """Cross-engine (reuse vs exact) comparison over sampled blocks."""
+
+    checked_blocks: List[int] = field(default_factory=list)
+    #: worst absolute per-level rate disagreement seen (flagged or not)
+    max_abs_err: float = 0.0
+    flags: List[GateFlag] = field(default_factory=list)
+
+
+def cache_engine_spot_check(
+    hierarchy,
+    blocks: Sequence[Tuple[object, int]],
+    *,
+    config: GuardConfig,
+    chunk: int = 1 << 16,
+    seed_tokens: Sequence = (),
+) -> CacheCheckOutcome:
+    """Compare the reuse model against an exact replay on sampled blocks.
+
+    ``blocks`` holds ``(BasicBlockSpec, sampled_iterations)`` pairs the
+    reuse engine evaluated.  For each keyed-RNG-sampled block the check
+    materializes one *truncated* stream (at most
+    ``config.cache_check_accesses`` accesses, so the exact replay stays
+    cheap), runs it through :class:`HierarchySimulator` — warm pass,
+    then a filler sweep standing in for the *other* blocks' program-
+    order traffic (the same ``cross_block_lines`` estimate the reuse
+    engine charges first touches with), then a measured pass — and
+    through the reuse profile math with the identical cross-block term,
+    then compares aggregate per-level cumulative hit rates.  Both
+    engines consume the identical addresses, so disagreement beyond
+    ``cache_check_atol + cache_check_rtol * exact`` is model
+    divergence, not sampling noise.
+    """
+    from repro.cache import reuse as _reuse
+    from repro.cache.simulator import HierarchySimulator
+    from repro.memstream.generator import interleave_streams
+
+    outcome = CacheCheckOutcome()
+    if not blocks or config.cache_check_fraction <= 0:
+        return outcome
+    want = max(
+        config.cache_check_min,
+        int(np.ceil(config.cache_check_fraction * len(blocks))),
+    )
+    want = min(want, len(blocks))
+    rng = stream("guard", "cachesim", *seed_tokens, len(blocks))
+    sample = sorted(
+        int(i) for i in rng.choice(len(blocks), size=want, replace=False)
+    )
+    line_sizes = _reuse.line_sizes_of(hierarchy)
+    full_streams = [
+        (
+            [m.pattern for m in block.mem_instructions],
+            [m.per_iteration * iters for m in block.mem_instructions],
+        )
+        for block, iters in blocks
+    ]
+    extras = {
+        ls: _reuse.cross_block_lines(full_streams, ls) for ls in line_sizes
+    }
+    # filler sweep emulating cross-block eviction between warm and
+    # measure; eviction saturates at cache capacity, so cap its length
+    fill_stride = min(line_sizes)
+    fill_cap = 2 * max(g.size_bytes for g in hierarchy.levels)
+    fill_base = max(
+        int(p.base) + int(p.footprint_bytes())
+        for patterns, _ in full_streams
+        for p in patterns
+    )
+    fill_base = -(-fill_base // fill_stride) * fill_stride
+    for i in sample:
+        block, iters = blocks[i]
+        per_iter = max(1, block.mem_accesses_per_iteration)
+        check_iters = max(
+            1, min(int(iters), config.cache_check_accesses // per_iter)
+        )
+        patterns = [m.pattern for m in block.mem_instructions]
+        counts = [m.per_iteration * check_iters for m in block.mem_instructions]
+        skey = _reuse.stream_key(patterns, counts, chunk)
+        idx_parts, addr_parts = [], []
+        for instr_idx, addrs in interleave_streams(
+            patterns, counts, _reuse.profiling_rng(skey), chunk=chunk
+        ):
+            idx_parts.append(instr_idx)
+            addr_parts.append(addrs)
+        if not addr_parts:
+            continue
+        instr_idx = np.concatenate(idx_parts)
+        addresses = np.concatenate(addr_parts)
+        block_extras = {ls: float(extras[ls][i]) for ls in line_sizes}
+        fill_bytes = min(
+            fill_cap,
+            int(max(block_extras[ls] * ls for ls in line_sizes)),
+        )
+        sim = HierarchySimulator(hierarchy)
+        sim.process(addresses)  # warm to steady state on the same stream
+        if fill_bytes > 0:
+            sim.process(
+                fill_base
+                + np.arange(fill_bytes // fill_stride, dtype=np.int64)
+                * fill_stride
+            )
+        sim.clear_counters()
+        sim.process(addresses)
+        exact = sim.result().cumulative_hit_rates()
+        moduli = _reuse.congruence_moduli_for(
+            patterns, [g.n_sets for g in hierarchy.levels]
+        )
+        profiles = {
+            ls: _reuse.profile_stream(
+                instr_idx, addresses, len(patterns), ls, moduli=moduli
+            )
+            for ls in line_sizes
+        }
+        approx = _reuse.aggregate_rates(profiles, hierarchy, block_extras)
+        err = np.abs(approx - exact)
+        tol = config.cache_check_atol + config.cache_check_rtol * np.abs(exact)
+        outcome.checked_blocks.append(block.block_id)
+        outcome.max_abs_err = max(outcome.max_abs_err, float(err.max()))
+        for j in np.flatnonzero(err > tol):
+            outcome.flags.append(
+                GateFlag(
+                    gate="cache-engine",
+                    block_id=block.block_id,
+                    instr_id=-1,  # aggregate over the block's instructions
+                    feature=f"hit_rate:{hierarchy.levels[int(j)].name}",
+                    score=float(err[j]),
+                    threshold=float(tol[j]),
+                )
+            )
     return outcome

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 
+from repro.cache.engine import ENGINE_NAMES, get_engine
 from repro.cache.hierarchy import CacheHierarchy
 from repro.instrument.pebil import InstrumentedProgram, InstrumentationReport
 from repro.instrument.program import Program
@@ -30,12 +31,24 @@ class CollectorConfig:
 
     ``sample_accesses`` bounds per-block simulated accesses per pass
     (the trace-size/time mitigation of §I); ``chunk`` is the stream
-    chunk length.
+    chunk length.  ``engine`` selects how hit rates are obtained:
+    ``"exact"`` replays every address through the LRU simulator,
+    ``"reuse"`` evaluates reuse-distance profiles analytically
+    (see :mod:`repro.cache.engine`).  The engine is part of collection
+    identity, so it participates in signature-cache keys.
     """
 
     sample_accesses: int = 200_000
     max_sample_accesses: int = 3_000_000
     chunk: int = 1 << 16
+    engine: str = "exact"
+
+    def __post_init__(self):
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown cache engine {self.engine!r}; "
+                f"known engines: {ENGINE_NAMES}"
+            )
 
 
 def collect_trace(
@@ -72,8 +85,15 @@ def collect_trace(
             max_sample_accesses=config.max_sample_accesses,
             chunk=config.chunk,
         )
-        with span("cachesim.run", app=app, rank=rank, n_ranks=n_ranks):
-            report = instrumented.run(rng)
+        engine = get_engine(config.engine)
+        with span(
+            "cachesim.run",
+            app=app,
+            rank=rank,
+            n_ranks=n_ranks,
+            engine=config.engine,
+        ):
+            report = engine.run(instrumented, rng)
     schema = FeatureSchema(hierarchy.level_names)
     trace = TraceFile(
         app=app,

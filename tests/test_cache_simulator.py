@@ -389,3 +389,39 @@ class TestLevelStats:
         np.testing.assert_array_equal(mat[1], 0.0)
         np.testing.assert_array_equal(mat[3], 0.0)
         assert mat[2, -1] > 0
+
+
+def test_instruction_cumulative_hit_rates_pins_scalar_reference():
+    """Regression pin for the vectorized per-instruction rate matrix.
+
+    The loop below is the original scalar derivation (per instruction,
+    per level, guard-by-guard); the vectorized padded-matrix version
+    must reproduce it bit-for-bit, including short per-level counter
+    arrays and instructions that never issued an access.
+    """
+    h = tiny_hierarchy()
+    sim = HierarchySimulator(h)
+    pattern = GatherScatterPattern(region_bytes=8 * KB, locality=0.3)
+    addrs = pattern.addresses(0, 4096, stream("vec-pin"))
+    n_instr = 5
+    # leave instruction 3 unseen to exercise the masked divide
+    instr = (np.arange(4096) % n_instr).astype(np.int64)
+    instr[instr == 3] = 0
+    sim.process(addrs, instr)
+    result = sim.result()
+
+    n_levels = len(result.levels)
+    expected = np.zeros((n_instr, n_levels))
+    for i in range(n_instr):
+        lv0 = result.levels[0]
+        total = int(lv0.instr_accesses[i]) if i < lv0.instr_accesses.shape[0] else 0
+        if total == 0:
+            continue
+        cum = 0.0
+        for j, lv in enumerate(result.levels):
+            hits = int(lv.instr_hits[i]) if i < lv.instr_hits.shape[0] else 0
+            cum += hits
+            expected[i, j] = cum / total
+
+    got = result.instruction_cumulative_hit_rates(n_instr)
+    np.testing.assert_array_equal(got, expected)
