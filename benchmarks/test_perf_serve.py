@@ -1,0 +1,149 @@
+"""Throughput benchmark of the prediction-serving query engine.
+
+Guards the serving PR's headline claim: coalescing compatible queries
+through the micro-batcher must beat an unbatched engine (``max_batch=1``,
+one ``predict_many`` array pass per query) by >= 10x on a replayable
+synthetic load — and, inseparable from the speed claim, the identity
+contract: every batched answer bit-identical to a sequential
+single-target ``predict_many`` call.
+
+The load itself comes from :mod:`repro.serve.loadgen`'s keyed RNG, so
+every run replays the *identical* query trace (targets, tenants, and
+arrival order), making the queries/s and p95 numbers comparable across
+runs.  Results are merged into ``results/BENCH_pipeline.json``.
+
+Set ``REPRO_BENCH_SMOKE=1`` (the CI default) to serve a model fitted on
+the synthetic trace series instead of collecting SPECFEM3D, with the
+query count scaled down and the speedup floor relaxed for noisy shared
+runners.
+"""
+
+import asyncio
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.extrapolate import fit_traces
+from repro.serve import (
+    FittedModel,
+    LoadSpec,
+    ModelRegistry,
+    ModelSpec,
+    QueryEngine,
+    ServeConfig,
+    run_load,
+    synthetic_queries,
+)
+
+from benchmarks.conftest import SPECFEM_TRAIN, merge_bench, slowest_trace
+from benchmarks.test_perf_fitting import _synthetic_training
+
+SMOKE = os.environ.get("REPRO_BENCH_SMOKE", "") not in ("", "0")
+
+#: speedup floor for micro-batching vs. the unbatched baseline; smoke
+#: mode serves a smaller model on noisy runners, so the floor relaxes
+MIN_SERVE_SPEEDUP = 4.0 if SMOKE else 10.0
+
+N_QUERIES = 256 if SMOKE else 2048
+
+LOAD = LoadSpec(
+    n_queries=N_QUERIES,
+    targets=(512, 1024, 2048, 4096, 8192),
+    skew=1.0,
+    name="perf-serve",
+)
+
+
+@pytest.fixture(scope="module")
+def served_model():
+    if SMOKE:
+        traces = _synthetic_training()
+        app = "synt"
+    else:
+        traces = [
+            slowest_trace("specfem3d", p, "blue_waters_p1", engine="reuse")
+            for p in SPECFEM_TRAIN
+        ]
+        app = "specfem3d"
+    report, template = fit_traces(traces)
+    spec = ModelSpec(
+        app=app,
+        machine="blue_waters_p1",
+        train_counts=tuple(t.n_ranks for t in traces),
+        cache_engine="reuse" if not SMOKE else "exact",
+        code_version="bench",
+    )
+    return FittedModel(spec=spec, report=report, template=template)
+
+
+def _serve(model: FittedModel, queries, *, max_batch: int):
+    """Run one load against a fresh engine; return (report, answers)."""
+
+    async def main():
+        registry = ModelRegistry(root=None)
+        registry.put(model)
+        engine = QueryEngine(
+            registry,
+            default_model=model.digest,
+            config=ServeConfig(max_batch=max_batch, window_s=0.002),
+        )
+        await engine.start()
+        report, answers = await run_load(engine, queries)
+        await engine.stop()
+        return report, answers
+
+    return asyncio.run(main())
+
+
+def test_replayable_load_is_identical_across_runs():
+    """The keyed-RNG generator must replay the exact same query trace."""
+    first = synthetic_queries(LOAD)
+    second = synthetic_queries(LOAD)
+    assert first == second
+    assert len(first) == N_QUERIES
+    # the Zipf skew actually skews: the hottest target dominates
+    counts = {t: 0 for t in LOAD.targets}
+    for q in first:
+        counts[q.target] += 1
+    assert counts[LOAD.targets[0]] == max(counts.values())
+
+
+def test_micro_batched_throughput_vs_unbatched(served_model):
+    """Tentpole criterion: micro-batching >= 10x the unbatched engine."""
+    queries = synthetic_queries(LOAD)
+
+    # warm both paths once so neither pays first-call setup in the
+    # measured run, then measure batched and unbatched service rates
+    _serve(served_model, queries[:8], max_batch=64)
+    batched, answers = _serve(served_model, queries, max_batch=64)
+    unbatched, _ = _serve(served_model, queries, max_batch=1)
+
+    # the speed claim is meaningless without the identity contract:
+    # every coalesced answer equals a sequential per-query predict_many
+    expected = {
+        t: served_model.predict([t]).values[0] for t in LOAD.targets
+    }
+    for q, a in zip(queries, answers):
+        assert a is not None
+        assert np.array_equal(a.values, expected[q.target])
+    assert max(a.batch_size for a in answers) > 1
+
+    speedup = batched.qps / unbatched.qps
+    merge_bench(
+        "BENCH_pipeline",
+        {
+            "serve_smoke": SMOKE,
+            "serve_queries": N_QUERIES,
+            "serve_qps": round(batched.qps, 1),
+            "serve_p95_ms": round(batched.p95_ms, 3),
+            "serve_mean_batch": round(batched.mean_batch, 1),
+            "serve_unbatched_qps": round(unbatched.qps, 1),
+            "serve_speedup_vs_unbatched": round(speedup, 1),
+        },
+    )
+    assert batched.rejected == 0 and unbatched.rejected == 0
+    assert speedup >= MIN_SERVE_SPEEDUP, (
+        f"micro-batched serving only {speedup:.1f}x faster than the "
+        f"unbatched engine (need >= {MIN_SERVE_SPEEDUP}x)"
+    )

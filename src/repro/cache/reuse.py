@@ -799,6 +799,45 @@ def profile_key(skey: str, line_size: int) -> str:
     ).hexdigest()
 
 
+@dataclass
+class ProfileCacheStats:
+    """Per-tier tallies of one :class:`ProfileCache` instance.
+
+    The memory tier answers without touching disk; the disk tier pays a
+    ``.npz`` load; a miss pays a full re-profile.  ``evictions`` counts
+    memory-LRU ejections — the signal that ``mem_entries`` is undersized
+    for the working set (serve-mode capacity tuning reads this from the
+    run manifest).  Every bump mirrors into the global metrics registry
+    under ``cachesim.reuse.*``.
+    """
+
+    mem_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+    def bump(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"cachesim.reuse.{name}", n)
+
+    def to_dict(self) -> dict:
+        return {
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.mem_hits} mem hits, {self.disk_hits} disk hits, "
+            f"{self.misses} misses, {self.stores} stores, "
+            f"{self.evictions} evictions"
+        )
+
+
 class ProfileCache:
     """In-memory LRU + optional on-disk store of reuse profiles.
 
@@ -811,6 +850,7 @@ class ProfileCache:
         self.root = Path(root) if root is not None else None
         self.mem_entries = mem_entries
         self._mem: "OrderedDict[str, ReuseProfile]" = OrderedDict()
+        self.stats = ProfileCacheStats()
 
     def _path(self, key: str) -> Path:
         return self.root / key[:2] / f"{key}.npz"
@@ -819,9 +859,11 @@ class ProfileCache:
         profile = self._mem.get(key)
         if profile is not None:
             self._mem.move_to_end(key)
+            self.stats.bump("mem_hits")
             REGISTRY.inc("cachesim.reuse.profile_hits")
             return profile
         if self.root is None:
+            self.stats.bump("misses")
             return None
         path = self._path(key)
         try:
@@ -846,12 +888,15 @@ class ProfileCache:
                     congruence=congruence,
                 )
         except (OSError, KeyError, ValueError):
+            self.stats.bump("misses")
             return None  # absent or corrupt: recompute
         self._remember(key, profile)
+        self.stats.bump("disk_hits")
         REGISTRY.inc("cachesim.reuse.profile_hits")
         return profile
 
     def put(self, key: str, profile: ReuseProfile) -> None:
+        self.stats.bump("stores")
         self._remember(key, profile)
         if self.root is None:
             return
@@ -889,6 +934,7 @@ class ProfileCache:
         self._mem.move_to_end(key)
         while len(self._mem) > self.mem_entries:
             self._mem.popitem(last=False)
+            self.stats.bump("evictions")
 
     def clear(self) -> None:
         self._mem.clear()

@@ -9,6 +9,7 @@ Exposes the pipeline's workflows for shell-driven use:
 ``predict``        trace + machine -> predicted runtime
 ``measure``        ground-truth runtime of an app on a machine
 ``table1``         the full Table I protocol for one app
+``serve``          answer what-if queries from a fitted-model registry
 =================  ====================================================
 
 Examples::
@@ -21,6 +22,10 @@ Examples::
     python -m repro predict --app uh3d --ranks 8192 \
         --trace uh3d-8192.npz
     python -m repro table1 --app uh3d --train 1024,2048,4096 --target 8192
+    python -m repro serve --app uh3d --train 1024,2048,4096 \
+        --load-gen 2000
+    echo '{"id": 1, "target": 8192}' | \
+        python -m repro serve --app uh3d --train 1024,2048,4096
 
 Robustness: ``--task-timeout``/``--max-retries`` switch collection to
 the fault-tolerant executor, ``--checkpoint-dir``/``--resume``
@@ -438,6 +443,11 @@ def _write_manifest(
     path = path or getattr(args, "manifest_out", None)
     if not path:
         return
+    profile_cache = None
+    if getattr(args, "cache_engine", None) == "reuse":
+        from repro.cache.reuse import profile_cache as current_profile_cache
+
+        profile_cache = current_profile_cache()
     doc = obs_manifest.build_manifest(
         command=command,
         config=_manifest_config(args),
@@ -449,6 +459,7 @@ def _write_manifest(
         journal=journal,
         guard=guard,
         tracer=obs_trace.current() if obs_trace.is_enabled() else None,
+        profile_cache=profile_cache,
     )
     obs_manifest.write_manifest(path, doc)
     log.info("wrote run manifest: %s", path)
@@ -728,6 +739,222 @@ def cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_feature_summary(answer, schema) -> dict:
+    """Compact JSONL view of one answer's feature matrix.
+
+    ``features_sha256`` digests the raw float64 bytes, so two serving
+    runs (batched or not) can be compared for bit-identity from the
+    protocol alone.
+    """
+    import hashlib
+
+    import numpy as np
+
+    values = np.ascontiguousarray(answer.values, dtype=np.float64)
+    hr = values[:, schema.hit_rate_slice]
+    return {
+        "n_pairs": int(values.shape[0]),
+        "features_sha256": hashlib.sha256(values.tobytes()).hexdigest(),
+        "mean_hit_rates": {
+            level: round(float(hr[:, j].mean()), 6) if hr.size else 0.0
+            for j, level in enumerate(schema.level_names)
+        },
+    }
+
+
+async def _serve_answer_one(engine, req_id, query, schema) -> None:
+    """Resolve one JSONL request and print its response line."""
+    try:
+        answer = await engine.query(query)
+    except ReproError as exc:
+        doc = {"id": req_id, "ok": False, "error": str(exc)}
+    else:
+        doc = {
+            "id": req_id,
+            "ok": True,
+            "target": answer.target,
+            "kind": answer.kind,
+            "batch_size": answer.batch_size,
+            "latency_ms": round(answer.latency_s * 1e3, 3),
+            **_serve_feature_summary(answer, schema),
+        }
+        if answer.runtime_s is not None:
+            doc["runtime_s"] = answer.runtime_s
+    print(json.dumps(doc), flush=True)
+
+
+async def _serve_stdin_loop(engine, schema) -> None:
+    """JSONL request/response over stdin/stdout until EOF."""
+    import asyncio
+
+    from repro.serve import Query
+
+    await engine.start()
+    loop = asyncio.get_running_loop()
+    pending: set = set()
+    while True:
+        line = await loop.run_in_executor(None, sys.stdin.readline)
+        if not line:
+            break
+        line = line.strip()
+        if not line:
+            continue
+        req_id = None
+        try:
+            req = json.loads(line)
+            req_id = req.get("id") if isinstance(req, dict) else None
+            query = Query(
+                target=int(req["target"]),
+                tenant=str(req.get("tenant", "default")),
+                kind=str(req.get("kind", "features")),
+            )
+        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                ReproError) as exc:
+            print(
+                json.dumps({"id": req_id, "ok": False, "error": str(exc)}),
+                flush=True,
+            )
+            continue
+        task = asyncio.ensure_future(
+            _serve_answer_one(engine, req_id, query, schema)
+        )
+        pending.add(task)
+        task.add_done_callback(pending.discard)
+    if pending:
+        await asyncio.gather(*pending, return_exceptions=True)
+    await engine.stop()
+
+
+async def _serve_load_main(engine, load_spec, digest):
+    from repro.serve import run_load, synthetic_queries
+
+    await engine.start()
+    queries = synthetic_queries(load_spec, model=digest)
+    try:
+        return await run_load(engine, queries)
+    finally:
+        await engine.stop()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    from repro.serve import (
+        LoadSpec,
+        ModelRegistry,
+        ModelSpec,
+        QueryEngine,
+        ServeConfig,
+    )
+
+    app = _resolve_app(args.app)
+    _check_machine(args.machine)
+    registry_dir = (
+        args.registry
+        or os.environ.get("REPRO_MODEL_REGISTRY")
+        or str(Path.home() / ".cache" / "repro" / "models")
+    )
+    _check_writable("--registry", registry_dir, is_dir=True)
+    if not args.batch_window > 0:
+        raise UsageError(
+            f"--batch-window must be positive, got {args.batch_window}"
+        )
+    if args.batch_max < 1:
+        raise UsageError(f"--batch-max must be >= 1, got {args.batch_max}")
+    if args.queue_depth < 1:
+        raise UsageError(
+            f"--queue-depth must be >= 1, got {args.queue_depth}"
+        )
+    if args.mem_models < 1:
+        raise UsageError(
+            f"--mem-models must be >= 1, got {args.mem_models}"
+        )
+    if args.load_gen is not None and args.load_gen < 1:
+        raise UsageError(
+            f"--load-gen must be >= 1, got {args.load_gen}"
+        )
+
+    cache = _build_cache(args)
+    fit_config = Table1Config(
+        machine=args.machine,
+        forms=EXTENDED_FORMS if args.extended_forms else PAPER_FORMS,
+        collection=CollectionSettings(
+            collector=_build_collector(args, cache),
+            workers=args.workers,
+            resilience=_build_resilience(args),
+        ),
+        cache=cache,
+    )
+    registry = ModelRegistry(registry_dir, mem_entries=args.mem_models)
+    spec = ModelSpec(
+        app=args.app,
+        machine=args.machine,
+        train_counts=tuple(args.train),
+        cache_engine=args.cache_engine,
+        forms="extended" if args.extended_forms else "paper",
+    )
+    preloaded = spec in registry
+    model = registry.get_or_fit(spec, config=fit_config)
+    log.info(
+        "serving model %s: %s (%s)",
+        model.digest[:12],
+        spec.describe(),
+        "registry hit" if preloaded else "freshly fitted",
+    )
+    engine = QueryEngine(
+        registry,
+        default_model=model.digest,
+        config=ServeConfig(
+            max_batch=args.batch_max,
+            window_s=args.batch_window / 1e3,
+            queue_depth=args.queue_depth,
+            admission=args.admission,
+        ),
+    )
+
+    if args.load_gen is not None:
+        if args.load_targets is not None:
+            targets = tuple(args.load_targets)
+        else:
+            base = max(spec.train_counts)
+            targets = tuple(base * m for m in (2, 4, 8, 16, 32))
+        load_spec = LoadSpec(
+            n_queries=args.load_gen,
+            targets=targets,
+            tenants=tuple(f"tenant{i}" for i in range(args.load_tenants)),
+            kind=args.load_kind,
+            name=args.load_name,
+        )
+        report, _answers = asyncio.run(
+            _serve_load_main(engine, load_spec, model.digest)
+        )
+        r = report.to_dict()
+        print(
+            f"serve-load: n={r['n_queries']} qps={r['qps']} "
+            f"p50_ms={round(r['p50_ms'], 3)} p95_ms={round(r['p95_ms'], 3)} "
+            f"mean_batch={r['mean_batch']} rejected={r['rejected']}"
+        )
+    else:
+        asyncio.run(_serve_stdin_loop(engine, model.template.schema))
+
+    summary = engine.summary()
+    log.info("serve summary: %s", summary)
+    _log_cache_stats(cache)
+    _write_manifest(
+        args,
+        command="serve",
+        outputs={
+            "serve_summary.json": (
+                json.dumps(summary, indent=2, sort_keys=True) + "\n"
+            ).encode("utf-8"),
+        },
+        app=app.name,
+        machine=args.machine,
+        cache=cache,
+    )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -819,6 +1046,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser(
+        "serve",
+        help="answer what-if queries from a fitted-model registry",
+        description="Fit (or load from the registry) one model per "
+                    "(app, machine, training counts, cache engine, form "
+                    "set, code version), then answer queries: JSONL "
+                    "requests on stdin by default, or a replayable "
+                    "synthetic load with --load-gen.  Concurrent "
+                    "compatible queries are micro-batched into single "
+                    "vectorized sweep evaluations.",
+    )
+    p.add_argument("--app", required=True, help="application name (see `repro list`)")
+    p.add_argument("--train", required=True, type=_parse_counts,
+                   help="comma-separated training core counts")
+    p.add_argument("--machine", default="blue_waters_p1",
+                   help="machine name (see `repro list`)")
+    p.add_argument("--registry", default=None, metavar="DIR",
+                   help="fitted-model registry directory (default: "
+                        "$REPRO_MODEL_REGISTRY or ~/.cache/repro/models)")
+    p.add_argument("--mem-models", type=int, default=8, metavar="N",
+                   help="in-memory model LRU size in front of the "
+                        "registry's disk tier (default 8)")
+    p.add_argument("--extended-forms", action="store_true",
+                   help="fit with the paper's SVI extension forms")
+    p.add_argument("--batch-window", type=float, default=2.0, metavar="MS",
+                   help="micro-batch coalescing window in milliseconds: "
+                        "a batch flushes when full or this old "
+                        "(default 2.0)")
+    p.add_argument("--batch-max", type=int, default=64, metavar="N",
+                   help="maximum queries per micro-batch (default 64)")
+    p.add_argument("--queue-depth", type=int, default=256, metavar="N",
+                   help="per-tenant admission queue bound (default 256)")
+    p.add_argument("--admission", choices=("wait", "reject"),
+                   default="wait",
+                   help="policy when a tenant's queue is full: 'wait' "
+                        "applies backpressure, 'reject' fails the query "
+                        "fast (default wait)")
+    p.add_argument("--load-gen", type=int, default=None, metavar="N",
+                   help="instead of serving stdin, fire N synthetic "
+                        "queries (replayable keyed-RNG trace) and print "
+                        "qps / latency percentiles")
+    p.add_argument("--load-targets", type=_parse_counts, default=None,
+                   help="target core counts the synthetic load draws "
+                        "from (default: training max x 2,4,8,16,32)")
+    p.add_argument("--load-tenants", type=int, default=4, metavar="N",
+                   help="synthetic tenants issuing the load (default 4)")
+    p.add_argument("--load-kind", choices=("features", "runtime"),
+                   default="features",
+                   help="query kind the synthetic load issues "
+                        "(default features)")
+    p.add_argument("--load-name", default="cli", metavar="NAME",
+                   help="keyed-RNG stream name: same name, same load "
+                        "(default 'cli')")
+    _add_exec_flags(p)
+    _add_obs_flags(p)
+    p.set_defaults(fn=cmd_serve)
 
     return parser
 

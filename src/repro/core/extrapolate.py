@@ -41,6 +41,7 @@ from repro.core.canonical import CanonicalForm, PAPER_FORMS
 from repro.core.fitting import (
     BatchedFitReport,
     FitReport,
+    SweepPrediction,
     fit_feature_series,
 )
 from repro.obs.trace import span
@@ -132,6 +133,31 @@ def _build_trace(
     return out
 
 
+def synthesize_from_prediction(
+    template: TraceFile,
+    prediction: "SweepPrediction",
+    target: int,
+    *,
+    rank: int = -1,
+) -> TraceFile:
+    """Assemble the synthetic trace of one target from a sweep prediction.
+
+    The trace-building half of the batched extrapolation path on its
+    own: given the ``predict_many`` output of an already-fitted model
+    and its synthesis template, produce the same
+    :class:`~repro.trace.tracefile.TraceFile` that
+    :func:`extrapolate_trace_many` would have built for ``target`` —
+    the path serving-time runtime queries take, where the fit is
+    answered from the model registry instead of recomputed.
+    """
+    t = prediction.targets.index(target)
+    vectors = {
+        pair: prediction.values[t, p].copy()
+        for p, pair in enumerate(prediction.pair_keys)
+    }
+    return _build_trace(template, target, rank, vectors)
+
+
 def synthesize_element_vector(
     fits: Sequence,
     schema,
@@ -197,6 +223,48 @@ def _synthesize_reference(
     return vectors
 
 
+def fit_traces(
+    traces: Sequence[TraceFile],
+    *,
+    forms: Sequence[CanonicalForm] = PAPER_FORMS,
+    engine: str = "batched",
+) -> Tuple[FitReport, TraceFile]:
+    """Validate a training series and fit every feature element once.
+
+    The fit half of :func:`extrapolate_trace_many`, factored out so the
+    serving model registry (:mod:`repro.serve.registry`) trains through
+    the identical path the sweep API uses: sort by core count, reject
+    duplicates and inconsistent schemas/blocks, assemble the per-(block,
+    instr) series matrices, and fit.  Returns the report plus the
+    synthesis template (the smallest training trace) — everything needed
+    to answer ``predict_many`` queries later without re-fitting.
+    """
+    if len(traces) < 2:
+        raise FitError(
+            f"need at least 2 training traces, got {len(traces)} "
+            "(the paper uses 3)",
+            stage="fit",
+        )
+    traces = sorted(traces, key=lambda t: t.n_ranks)
+    counts = [t.n_ranks for t in traces]
+    if len(set(counts)) != len(counts):
+        raise FitError(f"duplicate training core counts: {counts}", stage="fit")
+    _check_consistent(traces)
+    schema = traces[0].schema
+    template = traces[0]
+
+    # assemble per-(block, instr) series across core counts
+    series: Dict[Tuple[int, int], np.ndarray] = {}
+    for bid in sorted(template.blocks):
+        n_instr = template.blocks[bid].n_instructions
+        for k in range(n_instr):
+            rows = [t.blocks[bid].instructions[k].features for t in traces]
+            series[(bid, k)] = np.stack(rows)
+
+    report = fit_feature_series(schema, counts, series, forms, engine=engine)
+    return report, template
+
+
 def extrapolate_trace_many(
     traces: Sequence[TraceFile],
     targets: Sequence[int],
@@ -233,42 +301,20 @@ def extrapolate_trace_many(
         Trust-region width for rate elements, in units of the training
         range (see module docstring).  ``inf`` disables the cap.
     """
-    if len(traces) < 2:
-        raise FitError(
-            f"need at least 2 training traces, got {len(traces)} "
-            "(the paper uses 3)",
-            stage="fit",
-        )
     targets = [int(t) for t in targets]
     if not targets:
         raise FitError("need at least one target core count", stage="fit")
     for t in targets:
         if t <= 0:
             raise FitError(f"target core count must be positive, got {t}", stage="fit")
-    traces = sorted(traces, key=lambda t: t.n_ranks)
-    counts = [t.n_ranks for t in traces]
-    if len(set(counts)) != len(counts):
-        raise FitError(f"duplicate training core counts: {counts}", stage="fit")
-    _check_consistent(traces)
-    schema = traces[0].schema
-    template = traces[0]
-
-    # assemble per-(block, instr) series across core counts
-    series: Dict[Tuple[int, int], np.ndarray] = {}
-    for bid in sorted(template.blocks):
-        n_instr = template.blocks[bid].n_instructions
-        for k in range(n_instr):
-            rows = [t.blocks[bid].instructions[k].features for t in traces]
-            series[(bid, k)] = np.stack(rows)
-
-    report = fit_feature_series(schema, counts, series, forms, engine=engine)
+    report, template = fit_traces(traces, forms=forms, engine=engine)
 
     results: List[ExtrapolationResult] = []
     with span(
         "extrapolate.synthesize",
         targets=len(targets),
         engine=engine,
-        pairs=len(series),
+        pairs=template.n_instructions,
     ):
         if isinstance(report, BatchedFitReport):
             sweep = report.predict_many(

@@ -91,6 +91,7 @@ def build_manifest(
     journal=None,
     guard=None,
     tracer=None,
+    profile_cache=None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest document for one run.
@@ -100,7 +101,11 @@ def build_manifest(
     ``cache``/``report``/``journal`` accept the live
     ``SignatureCache``/``RunReport``/``RunJournal`` objects (or their
     stats) and serialize through their ``to_dict()`` views; ``tracer``
-    contributes per-stage durations.
+    contributes per-stage durations.  ``profile_cache`` accepts the
+    reuse-engine :class:`~repro.cache.reuse.ProfileCache` (or its
+    stats): per-tier hit/miss/eviction counts land under
+    ``"profile_cache"`` so reuse/serve capacity can be tuned from the
+    manifest alone.
     """
     doc: dict = {
         "schema_version": SCHEMA_VERSION,
@@ -132,6 +137,9 @@ def build_manifest(
     if journal is not None:
         stats = getattr(journal, "stats", journal)
         doc["journal"] = stats.to_dict()
+    if profile_cache is not None:
+        stats = getattr(profile_cache, "stats", profile_cache)
+        doc["profile_cache"] = stats.to_dict()
     if tracer is not None:
         doc["stage_durations"] = tracer.stage_durations()
     if extra:

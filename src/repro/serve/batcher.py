@@ -1,0 +1,181 @@
+"""Micro-batching: coalesce compatible queries into one array pass.
+
+The whole point of serving from :class:`~repro.core.fitting.
+BatchedFitReport` is that ``predict_many`` answers *n* targets for
+little more than the cost of one — but only if concurrent queries
+actually arrive at it together.  The :class:`MicroBatcher` makes that
+happen: queries submitted within a bounded window are grouped by a
+*compatibility key* (same fitted model, same query kind — incompatible
+keys are never co-batched) and flushed as one batch when either
+
+- the batch reaches ``max_batch`` queries (size flush), or
+- ``window_s`` elapses since the batch opened (deadline flush, so a
+  lone query is never stuck waiting for company).
+
+Each submitter gets back a future resolved with its own slice of the
+batch result.  Cancelled futures are dropped at flush time — a caller
+abandoning its query neither poisons nor delays the rest of the batch.
+The batch executor runs synchronously on the event loop: it is a numpy
+array pass over already-fitted matrices (microseconds to low
+milliseconds), and keeping it on-loop preserves the bit-identity
+contract — no cross-thread numpy state, one deterministic execution
+per batch.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+from repro.util.errors import ServeError
+
+
+@dataclass
+class BatcherStats:
+    """Flush accounting, mirrored into ``serve.batch.*`` metrics."""
+
+    queries: int = 0
+    batches: int = 0
+    size_flushes: int = 0
+    deadline_flushes: int = 0
+    drain_flushes: int = 0
+    cancelled: int = 0
+
+    def bump(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"serve.batch.{name}", n)
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "size_flushes": self.size_flushes,
+            "deadline_flushes": self.deadline_flushes,
+            "drain_flushes": self.drain_flushes,
+            "cancelled": self.cancelled,
+            "mean_batch": (
+                self.queries / self.batches if self.batches else 0.0
+            ),
+        }
+
+
+@dataclass
+class _PendingBatch:
+    items: List[Any] = field(default_factory=list)
+    futures: List[asyncio.Future] = field(default_factory=list)
+    timer: Optional[asyncio.TimerHandle] = None
+
+
+class MicroBatcher:
+    """Group submissions by key; flush on size or deadline.
+
+    ``run_batch(key, items)`` executes one coalesced batch and must
+    return one result per item, in order.  It is called on the event
+    loop; exceptions it raises are fanned out to every live submitter
+    of that batch.
+    """
+
+    def __init__(
+        self,
+        run_batch: Callable[[Hashable, List[Any]], Sequence[Any]],
+        *,
+        max_batch: int = 64,
+        window_s: float = 0.002,
+    ):
+        if max_batch < 1:
+            raise ServeError(
+                f"max_batch must be >= 1, got {max_batch}", stage="serve"
+            )
+        if not window_s > 0:
+            raise ServeError(
+                f"batch window must be positive, got {window_s}",
+                stage="serve",
+            )
+        self._run_batch = run_batch
+        self.max_batch = max_batch
+        self.window_s = window_s
+        self._pending: Dict[Hashable, _PendingBatch] = {}
+        self.stats = BatcherStats()
+
+    @property
+    def pending_keys(self) -> List[Hashable]:
+        return list(self._pending)
+
+    def enqueue(self, key: Hashable, item: Any) -> asyncio.Future:
+        """Enqueue one query; return the future that resolves with its
+        answer.
+
+        Synchronous on purpose: the engine's dispatcher calls this in a
+        tight loop, and a plain future keeps the per-query hot path free
+        of task creation (a size flush may run the batch before this
+        returns, in which case the future is already resolved).
+        """
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        batch = self._pending.get(key)
+        if batch is None:
+            batch = _PendingBatch()
+            self._pending[key] = batch
+            batch.timer = loop.call_later(
+                self.window_s, self._flush, key, "deadline_flushes"
+            )
+        batch.items.append(item)
+        batch.futures.append(fut)
+        self.stats.bump("queries")
+        if len(batch.items) >= self.max_batch:
+            self._flush(key, "size_flushes")
+        return fut
+
+    async def submit(self, key: Hashable, item: Any) -> Any:
+        """Enqueue one query under its compatibility key; await its answer."""
+        return await self.enqueue(key, item)
+
+    def flush_all(self) -> None:
+        """Flush every open batch immediately (drain/shutdown path)."""
+        for key in list(self._pending):
+            self._flush(key, "drain_flushes")
+
+    def _flush(self, key: Hashable, reason: str) -> None:
+        batch = self._pending.pop(key, None)
+        if batch is None:
+            return
+        if batch.timer is not None:
+            batch.timer.cancel()
+        live = [
+            (item, fut)
+            for item, fut in zip(batch.items, batch.futures)
+            if not fut.done()
+        ]
+        dropped = len(batch.items) - len(live)
+        if dropped:
+            self.stats.bump("cancelled", dropped)
+        if not live:
+            return
+        self.stats.bump("batches")
+        self.stats.bump(reason)
+        REGISTRY.observe("serve.batch_size", float(len(live)))
+        items = [item for item, _ in live]
+        try:
+            with span("serve.batch", key=str(key), size=len(live)):
+                results = self._run_batch(key, items)
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for _, fut in live:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        if len(results) != len(items):
+            exc = ServeError(
+                f"batch executor returned {len(results)} results for "
+                f"{len(items)} queries",
+                stage="serve",
+            )
+            for _, fut in live:
+                if not fut.done():
+                    fut.set_exception(exc)
+            return
+        for (_, fut), result in zip(live, results):
+            if not fut.done():
+                fut.set_result(result)

@@ -1,0 +1,411 @@
+"""The async query engine: admission, fair queueing, batched answers.
+
+Prediction-as-a-service front-end over the model registry.  A
+:class:`QueryEngine` accepts thousands of concurrent :class:`Query`
+coroutine calls and answers them through three stages:
+
+1. **Admission** — each tenant owns a bounded FIFO queue.  When a
+   tenant's queue is full, ``admission="wait"`` applies backpressure
+   (the caller's coroutine suspends until the dispatcher drains a
+   slot) while ``admission="reject"`` fails fast with
+   :class:`~repro.util.errors.AdmissionError` — the load-shedding
+   contract clients can retry against.
+2. **Fair dispatch** — a single dispatcher task round-robins across
+   tenant queues, taking at most one query per tenant per cycle, so a
+   tenant flooding its queue cannot starve a light tenant (dispatch
+   order is recorded in :attr:`QueryEngine.dispatch_log` and asserted
+   by the fairness tests).
+3. **Micro-batched execution** — dispatched queries enter the
+   :class:`~repro.serve.batcher.MicroBatcher` keyed by (model digest,
+   query kind); compatible queries coalesce into one
+   ``predict_many`` array pass and fan back out.  Batched answers are
+   bit-identical to what a sequential per-query ``predict_many`` would
+   return — ``predict_many`` computes each target column independently,
+   and the bit-identity tests hold the engine to it.
+
+``kind="features"`` answers with the synthesized (n_pairs, n_features)
+matrix of the target.  ``kind="runtime"`` additionally synthesizes the
+target trace and replays it through
+:func:`~repro.pipeline.predict.predict_runtime`; synthesis+prediction
+amortize per *distinct* target in the batch, the replay itself is
+per-query work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass, replace
+from functools import partial
+from time import perf_counter
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY, _quantile
+from repro.serve.batcher import MicroBatcher
+from repro.serve.registry import FittedModel, ModelRegistry
+from repro.util.errors import AdmissionError, ServeError
+
+ADMISSION_POLICIES = ("wait", "reject")
+QUERY_KINDS = ("features", "runtime")
+
+
+@dataclass(frozen=True)
+class Query:
+    """One prediction request.
+
+    ``model`` is a registry digest (``None`` = the engine's default
+    model).  ``target`` is the core count to synthesize.  Queries with
+    the same (model, kind) are batchable; anything else never co-batches.
+    """
+
+    target: int
+    model: Optional[str] = None
+    tenant: str = "default"
+    kind: str = "features"
+
+    def __post_init__(self):
+        if int(self.target) <= 0:
+            raise ServeError(
+                f"query target must be positive, got {self.target}",
+                stage="serve",
+            )
+        if self.kind not in QUERY_KINDS:
+            raise ServeError(
+                f"unknown query kind {self.kind!r}; known: {QUERY_KINDS}",
+                stage="serve",
+            )
+
+
+@dataclass
+class Answer:
+    """One resolved query: the synthesized features plus serving facts."""
+
+    target: int
+    kind: str
+    model: str
+    tenant: str
+    #: (n_pairs, n_features) synthesized features — a read-only array,
+    #: shared by every query for the same target in the same batch
+    values: np.ndarray
+    runtime_s: Optional[float]  #: predicted runtime (kind="runtime" only)
+    batch_size: int  #: how many queries shared this answer's array pass
+    latency_s: float  #: admission-to-answer wall clock
+
+
+@dataclass
+class ServeConfig:
+    """Engine knobs: batching window, queue bounds, admission policy."""
+
+    max_batch: int = 64
+    window_s: float = 0.002
+    queue_depth: int = 256
+    admission: str = "wait"
+    rate_trust_factor: float = 2.0
+
+    def __post_init__(self):
+        if self.admission not in ADMISSION_POLICIES:
+            raise ServeError(
+                f"unknown admission policy {self.admission!r}; "
+                f"known: {ADMISSION_POLICIES}",
+                stage="serve",
+            )
+        if self.queue_depth < 1:
+            raise ServeError(
+                f"queue depth must be >= 1, got {self.queue_depth}",
+                stage="serve",
+            )
+        # max_batch / window_s are validated by MicroBatcher
+
+
+@dataclass
+class EngineStats:
+    """Per-engine tallies (metrics land under ``serve.*`` too)."""
+
+    queries: int = 0
+    answered: int = 0
+    failed: int = 0
+    rejected: int = 0
+    backpressure_waits: int = 0
+
+    def bump(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"serve.{name}", n)
+
+    def to_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "answered": self.answered,
+            "failed": self.failed,
+            "rejected": self.rejected,
+            "backpressure_waits": self.backpressure_waits,
+        }
+
+
+class QueryEngine:
+    """Asyncio prediction server over a :class:`ModelRegistry`.
+
+    Usage::
+
+        engine = QueryEngine(registry, default_model=digest)
+        await engine.start()
+        answer = await engine.query(Query(target=4096))
+        await engine.stop()
+
+    Queries may be enqueued before :meth:`start`; they are dispatched
+    once the engine runs.  :meth:`stop` drains by default: queued and
+    in-flight queries are answered (open batches are deadline-flushed
+    immediately) before the dispatcher shuts down.
+    """
+
+    def __init__(
+        self,
+        registry: ModelRegistry,
+        *,
+        default_model: Optional[str] = None,
+        config: Optional[ServeConfig] = None,
+    ):
+        self.registry = registry
+        self.default_model = default_model
+        self.config = config or ServeConfig()
+        self.batcher = MicroBatcher(
+            self._run_batch,
+            max_batch=self.config.max_batch,
+            window_s=self.config.window_s,
+        )
+        self.stats = EngineStats()
+        #: tenant name per dispatch, in dispatch order — the fairness
+        #: tests assert round-robin interleaving on this
+        self.dispatch_log: List[str] = []
+        self._queues: Dict[str, Deque[tuple]] = {}
+        self._space: Dict[str, asyncio.Event] = {}
+        self._latencies: List[float] = []
+        self._runtime_ctx: Dict[str, tuple] = {}
+        self._inflight: set = set()
+        self._wake: Optional[asyncio.Event] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    @property
+    def started(self) -> bool:
+        return self._dispatcher is not None and not self._dispatcher.done()
+
+    async def start(self) -> None:
+        if self.started:
+            return
+        loop = asyncio.get_running_loop()
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        if any(self._queues.values()):
+            self._wake.set()
+        self._dispatcher = loop.create_task(
+            self._dispatch_loop(), name="serve-dispatcher"
+        )
+
+    async def stop(self, *, drain: bool = True) -> None:
+        if drain:
+            while any(self._queues.values()) or self._inflight:
+                if self._wake is not None:
+                    self._wake.set()
+                await asyncio.sleep(0)
+                if not any(self._queues.values()):
+                    # every remaining query is parked in an open batch —
+                    # don't wait out the deadline timer during shutdown
+                    self.batcher.flush_all()
+        if self._dispatcher is not None:
+            self._dispatcher.cancel()
+            try:
+                await self._dispatcher
+            except asyncio.CancelledError:
+                pass
+            self._dispatcher = None
+
+    # -- query path -----------------------------------------------------
+
+    async def query(self, q: Query) -> Answer:
+        """Submit one query; resolves with its :class:`Answer`."""
+        digest = q.model or self.default_model
+        if digest is None:
+            raise ServeError(
+                "query names no model and the engine has no default",
+                stage="serve",
+            )
+        if digest not in self.registry:
+            raise ServeError(
+                f"model {digest[:12]} is not in the registry",
+                stage="serve",
+                task_key=f"serve:{q.tenant}",
+            )
+        if q.model != digest:
+            q = replace(q, model=digest)
+        t0 = perf_counter()
+        self.stats.bump("queries")
+        dq = self._queues.setdefault(q.tenant, deque())
+        if len(dq) >= self.config.queue_depth:
+            if self.config.admission == "reject":
+                self.stats.bump("rejected")
+                raise AdmissionError(
+                    f"tenant {q.tenant!r} queue is full "
+                    f"({self.config.queue_depth} queries)",
+                    stage="serve",
+                    task_key=f"serve:{q.tenant}",
+                )
+            while len(dq) >= self.config.queue_depth:
+                self.stats.bump("backpressure_waits")
+                event = self._space.setdefault(q.tenant, asyncio.Event())
+                event.clear()
+                await event.wait()
+        loop = asyncio.get_running_loop()
+        fut: asyncio.Future = loop.create_future()
+        dq.append((q, fut, t0))
+        if self._wake is None:
+            self._wake = asyncio.Event()
+        self._wake.set()
+        return await fut
+
+    # -- dispatch -------------------------------------------------------
+
+    async def _dispatch_loop(self) -> None:
+        assert self._wake is not None
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            progress = True
+            while progress:
+                progress = False
+                # one query per tenant per cycle: round-robin fairness
+                for tenant in list(self._queues):
+                    dq = self._queues[tenant]
+                    if not dq:
+                        continue
+                    progress = True
+                    q, fut, t0 = dq.popleft()
+                    event = self._space.get(tenant)
+                    if event is not None:
+                        event.set()
+                    self.dispatch_log.append(tenant)
+                    REGISTRY.observe(
+                        "serve.queue_wait_s", perf_counter() - t0
+                    )
+                    # no task per query: the batcher future's done
+                    # callback finishes the answer — one object on the
+                    # hot path instead of a scheduled coroutine
+                    bfut = self.batcher.enqueue((q.model, q.kind), q)
+                    self._inflight.add(bfut)
+                    bfut.add_done_callback(
+                        partial(self._finish_one, q, fut, t0)
+                    )
+
+    def _finish_one(
+        self,
+        q: Query,
+        fut: asyncio.Future,
+        t0: float,
+        bfut: asyncio.Future,
+    ) -> None:
+        """Resolve one caller future from its finished batch slice."""
+        self._inflight.discard(bfut)
+        if bfut.cancelled():
+            if not fut.done():
+                fut.cancel()
+            return
+        exc = bfut.exception()
+        if exc is not None:
+            self.stats.bump("failed")
+            if not fut.done():
+                fut.set_exception(exc)
+            return
+        payload = bfut.result()
+        latency = perf_counter() - t0
+        self._latencies.append(latency)
+        REGISTRY.observe("serve.latency_s", latency)
+        self.stats.bump("answered")
+        answer = Answer(
+            target=q.target,
+            kind=q.kind,
+            model=q.model,
+            tenant=q.tenant,
+            latency_s=latency,
+            **payload,
+        )
+        if not fut.done():
+            fut.set_result(answer)
+
+    # -- batch execution ------------------------------------------------
+
+    def _model(self, digest: str) -> FittedModel:
+        model = self.registry.get(digest)
+        if model is None:
+            raise ServeError(
+                f"model {digest[:12]} vanished from the registry",
+                stage="serve",
+            )
+        return model
+
+    def _runtime_context(self, model: FittedModel) -> tuple:
+        ctx = self._runtime_ctx.get(model.digest)
+        if ctx is None:
+            from repro.apps.registry import get_app
+            from repro.machine.systems import get_machine
+
+            ctx = (get_app(model.spec.app), get_machine(model.spec.machine))
+            self._runtime_ctx[model.digest] = ctx
+        return ctx
+
+    def _run_batch(
+        self, key: Tuple[str, str], queries: List[Query]
+    ) -> List[dict]:
+        digest, kind = key
+        model = self._model(digest)
+        targets = sorted({int(q.target) for q in queries})
+        sweep = model.predict(
+            targets, rate_trust_factor=self.config.rate_trust_factor
+        )
+        n = len(queries)
+        runtimes: Dict[int, float] = {}
+        if kind == "runtime":
+            from repro.pipeline.predict import predict_runtime
+
+            app, machine = self._runtime_context(model)
+            for target in targets:
+                trace = model.synthesize(target, prediction=sweep)
+                runtimes[target] = predict_runtime(
+                    app, target, trace, machine
+                ).runtime_s
+        # one detached read-only matrix per *distinct* target, shared by
+        # every query for it: copying per query would dominate the
+        # amortized batch cost, and a view would pin the whole sweep
+        matrices: Dict[int, np.ndarray] = {}
+        for target in targets:
+            m = sweep.matrix_for(target).copy()
+            m.setflags(write=False)
+            matrices[target] = m
+        return [
+            {
+                "values": matrices[int(q.target)],
+                "runtime_s": runtimes.get(int(q.target)),
+                "batch_size": n,
+            }
+            for q in queries
+        ]
+
+    # -- reporting ------------------------------------------------------
+
+    def latency_summary(self) -> Dict[str, float]:
+        values = sorted(self._latencies)
+        return {
+            "count": len(values),
+            "p50_s": _quantile(values, 0.50),
+            "p95_s": _quantile(values, 0.95),
+            "max_s": values[-1] if values else 0.0,
+        }
+
+    def summary(self) -> dict:
+        return {
+            "engine": self.stats.to_dict(),
+            "batcher": self.batcher.stats.to_dict(),
+            "registry": self.registry.stats.to_dict(),
+            "latency": self.latency_summary(),
+        }

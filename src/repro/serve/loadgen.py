@@ -1,0 +1,158 @@
+"""Replayable synthetic query-trace load generation.
+
+Load tests are only evidence if they are repeatable: the generator
+derives every choice (target, tenant) from the library's keyed RNG
+(:func:`repro.util.rng.stream`), so the same :class:`LoadSpec` always
+produces the same query trace, independent of how many other streams
+exist — re-running a benchmark replays the *identical* load.
+
+Targets are drawn with a Zipf-flavored skew (a few hot what-if targets,
+a long tail), which is both the realistic shape for a what-if service
+and the interesting one for a micro-batcher: hot targets co-batch,
+cold ones ride along in the same window.
+
+:func:`run_load` fires the whole trace as concurrent coroutines,
+gathers the answers, and reduces them to a :class:`LoadReport` —
+queries/s, latency percentiles, mean batch size — also mirrored into
+the ``serve.qps`` / ``serve.p95_ms`` gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass
+from time import perf_counter
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.obs.metrics import REGISTRY, _quantile
+from repro.serve.engine import Answer, Query, QueryEngine
+from repro.util.errors import ServeError
+from repro.util.rng import DEFAULT_ROOT_SEED, stream
+
+
+@dataclass(frozen=True)
+class LoadSpec:
+    """One replayable synthetic load: same spec, same query trace."""
+
+    n_queries: int = 1000
+    targets: Tuple[int, ...] = (512, 1024, 2048, 4096, 8192)
+    tenants: Tuple[str, ...] = ("tenant0", "tenant1", "tenant2", "tenant3")
+    kind: str = "features"
+    #: Zipf-ish skew exponent over the target list (0 = uniform)
+    skew: float = 1.0
+    name: str = "default"
+
+    def __post_init__(self):
+        if self.n_queries < 1:
+            raise ServeError(
+                f"n_queries must be >= 1, got {self.n_queries}",
+                stage="serve",
+            )
+        if not self.targets or not self.tenants:
+            raise ServeError(
+                "load spec needs at least one target and one tenant",
+                stage="serve",
+            )
+
+
+def synthetic_queries(
+    spec: LoadSpec,
+    *,
+    model: Optional[str] = None,
+    root: int = DEFAULT_ROOT_SEED,
+) -> List[Query]:
+    """Materialize the spec's query trace (deterministic in (spec, root))."""
+    rng = stream("serve", "loadgen", spec.name, spec.n_queries, root=root)
+    weights = 1.0 / np.arange(1, len(spec.targets) + 1) ** spec.skew
+    weights /= weights.sum()
+    target_idx = rng.choice(len(spec.targets), size=spec.n_queries, p=weights)
+    tenant_idx = rng.integers(0, len(spec.tenants), size=spec.n_queries)
+    return [
+        Query(
+            target=int(spec.targets[t]),
+            tenant=spec.tenants[u],
+            kind=spec.kind,
+            model=model,
+        )
+        for t, u in zip(target_idx, tenant_idx)
+    ]
+
+
+@dataclass
+class LoadReport:
+    """What one load run measured."""
+
+    n_queries: int
+    wall_s: float
+    qps: float
+    p50_ms: float
+    p95_ms: float
+    mean_batch: float
+    rejected: int
+
+    def to_dict(self) -> dict:
+        return {
+            "n_queries": self.n_queries,
+            "wall_s": round(self.wall_s, 6),
+            "qps": round(self.qps, 3),
+            "p50_ms": round(self.p50_ms, 6),
+            "p95_ms": round(self.p95_ms, 6),
+            "mean_batch": round(self.mean_batch, 3),
+            "rejected": self.rejected,
+        }
+
+
+async def run_load(
+    engine: QueryEngine, queries: Sequence[Query]
+) -> Tuple[LoadReport, List[Optional[Answer]]]:
+    """Fire a query trace at a started engine; measure the service rate.
+
+    Every query runs as its own coroutine (the all-at-once arrival that
+    stresses batching and fairness hardest).  Admission rejections are
+    counted, not raised — a load test observing its own backpressure is
+    a result, not a failure.  Returns the report plus the per-query
+    answers (``None`` where rejected) in submission order.
+    """
+    if not queries:
+        raise ServeError("no queries to run", stage="serve")
+    t0 = perf_counter()
+    outcomes = await asyncio.gather(
+        *(engine.query(q) for q in queries), return_exceptions=True
+    )
+    wall = perf_counter() - t0
+    answers: List[Optional[Answer]] = []
+    latencies: List[float] = []
+    batch_sizes: List[int] = []
+    rejected = 0
+    for outcome in outcomes:
+        if isinstance(outcome, Answer):
+            answers.append(outcome)
+            latencies.append(outcome.latency_s)
+            batch_sizes.append(outcome.batch_size)
+        elif isinstance(outcome, BaseException):
+            from repro.util.errors import AdmissionError
+
+            if isinstance(outcome, AdmissionError):
+                rejected += 1
+                answers.append(None)
+            else:
+                raise outcome
+        else:
+            answers.append(None)
+    latencies.sort()
+    report = LoadReport(
+        n_queries=len(queries),
+        wall_s=wall,
+        qps=len(latencies) / wall if wall > 0 else 0.0,
+        p50_ms=_quantile(latencies, 0.50) * 1e3,
+        p95_ms=_quantile(latencies, 0.95) * 1e3,
+        mean_batch=(
+            float(np.mean(batch_sizes)) if batch_sizes else 0.0
+        ),
+        rejected=rejected,
+    )
+    REGISTRY.gauge("serve.qps").set(report.qps)
+    REGISTRY.gauge("serve.p95_ms").set(report.p95_ms)
+    return report, answers

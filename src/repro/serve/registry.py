@@ -1,0 +1,460 @@
+"""Fitted-model registry: fit once, answer forever.
+
+A *model* is everything needed to answer extrapolation queries without
+touching the training pipeline again: the batched fit matrices
+(:class:`~repro.core.batchfit.BatchFitResult` behind a
+:class:`~repro.core.fitting.BatchedFitReport`) plus the synthesis
+template trace.  Models are keyed by a SHA-256 **content digest** of
+their identity — application, machine, training core counts, cache
+engine, canonical-form set, and the code version that fitted them (the
+same ``git_sha`` the run manifest records) — so a registry can never
+serve a stale fit for changed inputs: a different identity is a
+different digest is a different entry.
+
+Persistence is mmap-friendly: each model lives in its own
+``<digest>/`` directory holding one bare ``.npy`` file per fit matrix
+(``np.load(mmap_mode="r")`` only maps bare ``.npy`` files, not ``.npz``
+members), the template as a normal trace ``.npz``, and a ``meta.json``
+carrying the spec and array manifest.  A warm serving process therefore
+pages in only the matrix rows a query batch actually touches.  Writes
+go to a temp directory renamed into place, so a crashed writer never
+leaves a half-model loadable.
+
+In front of the disk tier sits a small in-memory LRU (the
+:class:`~repro.cache.reuse.ProfileCache` idiom), with per-tier
+hit/miss/eviction counters exported as ``serve.registry.*`` metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.cache.engine import ENGINE_NAMES
+from repro.core.batchfit import BatchFitResult
+from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
+from repro.core.extrapolate import fit_traces, synthesize_from_prediction
+from repro.core.fitting import BatchedFitReport, SweepPrediction
+from repro.obs.manifest import git_sha
+from repro.obs.metrics import REGISTRY
+from repro.obs.trace import span
+from repro.trace.features import FeatureSchema
+from repro.trace.tracefile import TraceFile
+from repro.util.errors import ServeError
+
+SCHEMA_VERSION = 1
+
+#: named canonical-form sets a spec may select (names are part of the
+#: content digest, so the mapping must stay append-only)
+FORM_SETS = {"paper": PAPER_FORMS, "extended": EXTENDED_FORMS}
+
+#: the per-model fit matrices persisted as bare .npy files, in manifest
+#: order: (filename stem, BatchFitResult attribute)
+_ARRAY_FIELDS = (
+    ("x", "x"),
+    ("Y", "Y"),
+    ("sse", "sse"),
+    ("applicable", "applicable"),
+    ("order", "order"),
+    ("n_candidates", "n_candidates"),
+)
+
+
+def default_code_version() -> str:
+    """The code-version token baked into new specs (manifest ``git_sha``)."""
+    return git_sha() or "unversioned"
+
+
+@dataclass(frozen=True)
+class ModelSpec:
+    """Identity of one fitted model — everything the fit depends on.
+
+    ``train_counts`` are canonicalized (sorted, deduplicated) so the
+    digest is insensitive to argument order.  ``code_version`` defaults
+    to the current checkout's ``git_sha`` — pass it explicitly to query
+    for a model fitted by an older build.
+    """
+
+    app: str
+    machine: str = "blue_waters_p1"
+    train_counts: Tuple[int, ...] = (64, 128, 256)
+    cache_engine: str = "exact"
+    forms: str = "paper"
+    code_version: str = field(default_factory=default_code_version)
+
+    def __post_init__(self):
+        counts = tuple(sorted({int(c) for c in self.train_counts}))
+        object.__setattr__(self, "train_counts", counts)
+        if len(counts) < 2:
+            raise ServeError(
+                f"need at least 2 training counts, got {list(counts)}",
+                stage="serve",
+            )
+        if self.cache_engine not in ENGINE_NAMES:
+            raise ServeError(
+                f"unknown cache engine {self.cache_engine!r}; "
+                f"known engines: {ENGINE_NAMES}",
+                stage="serve",
+            )
+        if self.forms not in FORM_SETS:
+            raise ServeError(
+                f"unknown form set {self.forms!r}; "
+                f"known sets: {sorted(FORM_SETS)}",
+                stage="serve",
+            )
+
+    def digest(self) -> str:
+        """Content digest over the canonical identity tokens."""
+        h = hashlib.sha256()
+        for token in (
+            f"v{SCHEMA_VERSION}",
+            self.app,
+            self.machine,
+            ",".join(str(c) for c in self.train_counts),
+            self.cache_engine,
+            self.forms,
+            self.code_version,
+        ):
+            h.update(token.encode("utf-8"))
+            h.update(b"\x00")
+        return h.hexdigest()
+
+    def describe(self) -> str:
+        return (
+            f"{self.app}@{self.machine} train={list(self.train_counts)} "
+            f"engine={self.cache_engine} forms={self.forms} "
+            f"code={self.code_version[:12]}"
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "app": self.app,
+            "machine": self.machine,
+            "train_counts": list(self.train_counts),
+            "cache_engine": self.cache_engine,
+            "forms": self.forms,
+            "code_version": self.code_version,
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ModelSpec":
+        return cls(
+            app=doc["app"],
+            machine=doc["machine"],
+            train_counts=tuple(doc["train_counts"]),
+            cache_engine=doc["cache_engine"],
+            forms=doc["forms"],
+            code_version=doc["code_version"],
+        )
+
+
+@dataclass
+class FittedModel:
+    """One registry entry: spec + fit report + synthesis template."""
+
+    spec: ModelSpec
+    report: BatchedFitReport
+    template: TraceFile
+
+    @property
+    def digest(self) -> str:
+        return self.spec.digest()
+
+    def predict(
+        self, targets: Sequence[int], *, rate_trust_factor: float = 2.0
+    ) -> SweepPrediction:
+        """Vectorized multi-target sweep (one array pass, no re-fit)."""
+        return self.report.predict_many(
+            targets, rate_trust_factor=rate_trust_factor
+        )
+
+    def synthesize(
+        self,
+        target: int,
+        *,
+        prediction: Optional[SweepPrediction] = None,
+        rate_trust_factor: float = 2.0,
+    ) -> TraceFile:
+        """The synthetic trace of one target (for runtime replay)."""
+        if prediction is None or target not in prediction.targets:
+            prediction = self.predict(
+                [target], rate_trust_factor=rate_trust_factor
+            )
+        return synthesize_from_prediction(self.template, prediction, target)
+
+
+def fit_model(spec: ModelSpec, *, config=None, report=None) -> FittedModel:
+    """Train the model a spec describes, through the pipeline's own path.
+
+    Collection runs with the spec's cache engine (exact LRU replay or
+    analytical reuse-distance), fitting through
+    :func:`repro.core.extrapolate.fit_traces` on the batched engine —
+    the identical code the offline sweep API uses, so served answers are
+    bit-identical to what a fresh ``extrapolate_trace_many`` would
+    produce.
+    """
+    # local imports: keep registry loading cheap and cycle-free
+    from repro.apps.registry import get_app
+    from repro.instrument.collector import CollectorConfig
+    from repro.pipeline.collect import CollectionSettings
+    from repro.pipeline.experiment import Table1Config, collect_training_traces
+
+    if config is None:
+        config = Table1Config(
+            machine=spec.machine,
+            collection=CollectionSettings(
+                collector=CollectorConfig(engine=spec.cache_engine)
+            ),
+        )
+    app = get_app(spec.app)
+    with span("serve.fit", app=spec.app, counts=len(spec.train_counts)):
+        traces = collect_training_traces(
+            app, list(spec.train_counts), config, report=report
+        )
+        fit_report, template = fit_traces(
+            traces, forms=FORM_SETS[spec.forms], engine="batched"
+        )
+    if not isinstance(fit_report, BatchedFitReport):
+        raise ServeError(
+            "registry models require the batched fitting engine",
+            stage="serve",
+        )
+    return FittedModel(spec=spec, report=fit_report, template=template)
+
+
+@dataclass
+class RegistryStats:
+    """Tiered hit/miss tallies, mirrored into ``serve.registry.*``."""
+
+    mem_hits: int = 0
+    disk_hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+    fits: int = 0
+
+    def bump(self, name: str, n: int = 1) -> None:
+        setattr(self, name, getattr(self, name) + n)
+        REGISTRY.inc(f"serve.registry.{name}", n)
+
+    def to_dict(self) -> dict:
+        return {
+            "mem_hits": self.mem_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "fits": self.fits,
+        }
+
+
+class ModelRegistry:
+    """Two-tier store of fitted models: in-memory LRU over a disk tree.
+
+    ``root=None`` keeps everything in memory (tests, embedded use); with
+    a root directory, :meth:`put` persists and :meth:`get` falls back to
+    disk on a memory miss, loading fit matrices with
+    ``np.load(mmap_mode="r")`` so a big registry costs page-cache, not
+    heap.
+    """
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        *,
+        mem_entries: int = 8,
+    ):
+        if mem_entries < 1:
+            raise ServeError(
+                f"mem_entries must be >= 1, got {mem_entries}", stage="serve"
+            )
+        self.root = Path(root) if root is not None else None
+        if self.root is not None:
+            self.root.mkdir(parents=True, exist_ok=True)
+        self.mem_entries = mem_entries
+        self._mem: "OrderedDict[str, FittedModel]" = OrderedDict()
+        self.stats = RegistryStats()
+
+    # -- keying ---------------------------------------------------------
+
+    @staticmethod
+    def _digest_of(key: Union[str, ModelSpec]) -> str:
+        return key.digest() if isinstance(key, ModelSpec) else str(key)
+
+    def _model_dir(self, digest: str) -> Path:
+        assert self.root is not None
+        return self.root / digest[:2] / digest
+
+    # -- memory tier ----------------------------------------------------
+
+    def _remember(self, digest: str, model: FittedModel) -> None:
+        self._mem[digest] = model
+        self._mem.move_to_end(digest)
+        while len(self._mem) > self.mem_entries:
+            self._mem.popitem(last=False)
+            self.stats.bump("evictions")
+
+    # -- public API -----------------------------------------------------
+
+    def __contains__(self, key: Union[str, ModelSpec]) -> bool:
+        digest = self._digest_of(key)
+        if digest in self._mem:
+            return True
+        return (
+            self.root is not None
+            and (self._model_dir(digest) / "meta.json").exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self.digests())
+
+    def digests(self) -> List[str]:
+        """Every digest the registry can answer for (both tiers)."""
+        found = set(self._mem)
+        if self.root is not None:
+            for meta in self.root.glob("*/*/meta.json"):
+                found.add(meta.parent.name)
+        return sorted(found)
+
+    def get(self, key: Union[str, ModelSpec]) -> Optional[FittedModel]:
+        digest = self._digest_of(key)
+        model = self._mem.get(digest)
+        if model is not None:
+            self._mem.move_to_end(digest)
+            self.stats.bump("mem_hits")
+            return model
+        if self.root is not None:
+            model_dir = self._model_dir(digest)
+            if (model_dir / "meta.json").exists():
+                model = self._load_dir(model_dir)
+                self.stats.bump("disk_hits")
+                self._remember(digest, model)
+                return model
+        self.stats.bump("misses")
+        return None
+
+    def put(self, model: FittedModel) -> str:
+        digest = model.digest
+        if self.root is not None:
+            self._store_dir(model, self._model_dir(digest))
+        self.stats.bump("stores")
+        self._remember(digest, model)
+        return digest
+
+    def get_or_fit(
+        self, spec: ModelSpec, *, config=None, report=None
+    ) -> FittedModel:
+        """Answer from either tier, fitting (and persisting) on a miss."""
+        model = self.get(spec)
+        if model is not None:
+            return model
+        model = fit_model(spec, config=config, report=report)
+        self.stats.bump("fits")
+        self.put(model)
+        return model
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (disk survives) — cold-start testing."""
+        self._mem.clear()
+
+    # -- persistence ----------------------------------------------------
+
+    def _store_dir(self, model: FittedModel, model_dir: Path) -> None:
+        batch = model.report.batch
+        tmp = model_dir.with_name(
+            f"{model_dir.name}.tmp-{os.getpid()}"
+        )
+        if tmp.exists():
+            shutil.rmtree(tmp)
+        tmp.mkdir(parents=True)
+        try:
+            for stem, attr in _ARRAY_FIELDS:
+                np.save(tmp / f"{stem}.npy", getattr(batch, attr))
+            for f, params in enumerate(batch.params):
+                np.save(tmp / f"params_{f}.npy", params)
+            model.template.save_npz(tmp / "template.npz")
+            meta = {
+                "schema_version": SCHEMA_VERSION,
+                "spec": model.spec.to_dict(),
+                "core_counts": [int(c) for c in model.report.core_counts],
+                "level_names": list(model.report.schema.level_names),
+                "pair_keys": [[int(b), int(k)] for b, k in model.report.pair_keys],
+                "form_names": [f.name for f in batch.forms],
+            }
+            (tmp / "meta.json").write_text(
+                json.dumps(meta, indent=2, sort_keys=True) + "\n"
+            )
+            model_dir.parent.mkdir(parents=True, exist_ok=True)
+            if model_dir.exists():
+                # concurrent writer won the race; same digest = same content
+                shutil.rmtree(tmp)
+            else:
+                os.replace(tmp, model_dir)
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+
+    def _load_dir(self, model_dir: Path) -> FittedModel:
+        try:
+            meta = json.loads((model_dir / "meta.json").read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise ServeError(
+                f"unreadable model metadata in {model_dir}: {exc}",
+                stage="serve",
+            )
+        if meta.get("schema_version") != SCHEMA_VERSION:
+            raise ServeError(
+                f"unsupported model schema version "
+                f"{meta.get('schema_version')!r} in {model_dir}",
+                stage="serve",
+            )
+        spec = ModelSpec.from_dict(meta["spec"])
+        form_set = FORM_SETS[spec.forms]
+        by_name = {f.name: f for f in form_set}
+        try:
+            forms = tuple(by_name[name] for name in meta["form_names"])
+        except KeyError as exc:
+            raise ServeError(
+                f"model in {model_dir} references unknown form {exc}",
+                stage="serve",
+            )
+
+        def _load(stem: str, *, mmap: bool = True) -> np.ndarray:
+            return np.load(
+                model_dir / f"{stem}.npy",
+                mmap_mode="r" if mmap else None,
+                allow_pickle=False,
+            )
+
+        arrays: Dict[str, np.ndarray] = {}
+        for stem, attr in _ARRAY_FIELDS:
+            # x / n_candidates are tiny and consulted per lookup — load
+            # them eagerly; the big matrices stay memory-mapped
+            arrays[attr] = _load(stem, mmap=stem in ("Y", "sse", "applicable", "order"))
+        batch = BatchFitResult(
+            x=np.asarray(arrays["x"], dtype=np.float64),
+            Y=arrays["Y"],
+            forms=forms,
+            params=[_load(f"params_{f}") for f in range(len(forms))],
+            sse=arrays["sse"],
+            applicable=arrays["applicable"],
+            order=arrays["order"],
+            n_candidates=np.asarray(arrays["n_candidates"]),
+        )
+        template = TraceFile.load_npz(model_dir / "template.npz")
+        schema = FeatureSchema(meta["level_names"])
+        report = BatchedFitReport(
+            core_counts=[int(c) for c in meta["core_counts"]],
+            schema=schema,
+            pair_keys=[(int(b), int(k)) for b, k in meta["pair_keys"]],
+            batch=batch,
+        )
+        return FittedModel(spec=spec, report=report, template=template)

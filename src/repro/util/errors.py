@@ -89,3 +89,16 @@ class TransientTaskError(ReproError, RuntimeError):
 
 class UsageError(ReproError):
     """Invalid CLI input; the CLI exits 2 with the message, no traceback."""
+
+
+class ServeError(ReproError):
+    """The query engine could not answer (unknown model, engine down)."""
+
+
+class AdmissionError(ServeError):
+    """A query was rejected at admission (tenant queue full, backpressure).
+
+    Deterministic from the caller's point of view — the *load* caused
+    it, not the query — so it is never retried internally; clients are
+    expected to back off and resubmit.
+    """

@@ -71,3 +71,19 @@ def jacobi_traces(small_jacobi, bw_machine):
         ).slowest_trace()
         for p in (4, 8, 16)
     ]
+
+
+@pytest.fixture(scope="session")
+def serve_model(jacobi_traces):
+    """A fitted serving model over the small Jacobi training trio."""
+    from repro.core.extrapolate import fit_traces
+    from repro.serve import FittedModel, ModelSpec
+
+    report, template = fit_traces(jacobi_traces)
+    spec = ModelSpec(
+        app="jacobi",
+        machine="blue_waters_p1",
+        train_counts=(4, 8, 16),
+        code_version="test-build",
+    )
+    return FittedModel(spec=spec, report=report, template=template)

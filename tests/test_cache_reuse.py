@@ -358,6 +358,35 @@ def test_profiles_shared_across_geometries():
     assert after == before + 1
 
 
+def test_profile_cache_tier_stats_and_eviction_metrics(tmp_path):
+    cache = ProfileCache(tmp_path, mem_entries=2)
+    before = REGISTRY.counter("cachesim.reuse.evictions").value
+    profile = _small_profile()
+    keys = [c * 64 for c in "abc"]
+    for key in keys:
+        cache.put(key, profile)
+    # three stores through a 2-entry LRU: one eviction, mirrored
+    assert cache.stats.stores == 3
+    assert cache.stats.evictions == 1
+    assert REGISTRY.counter("cachesim.reuse.evictions").value == before + 1
+    # evicted key comes back from the disk tier; warm key from memory
+    assert cache.get(keys[0]) is not None
+    assert cache.get(keys[2]) is not None
+    assert cache.stats.disk_hits == 1
+    assert cache.stats.mem_hits == 1
+    # a never-stored key is a miss on both tiers
+    assert cache.get("z" * 64) is None
+    assert cache.stats.misses == 1
+    doc = cache.stats.to_dict()
+    assert doc == {
+        "mem_hits": 1,
+        "disk_hits": 1,
+        "misses": 1,
+        "stores": 3,
+        "evictions": cache.stats.evictions,
+    }
+
+
 def test_eval_counter_increments():
     patterns, counts = STREAMS["random"]
     hierarchy = CacheHierarchy(ZOO[:3], name="zoo-3level")

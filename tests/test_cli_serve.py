@@ -1,0 +1,157 @@
+"""``repro serve`` end-to-end: validation, load-gen, JSONL protocol.
+
+Flag validation must exit 2 with one actionable line *before* any
+fitting starts; the load-gen path must print the service-rate summary
+and leave a persisted model behind; the stdin protocol must answer
+well-formed requests and reject malformed ones per line without dying.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+
+BASE = ["serve", "--app", "jacobi", "--train", "4,8,16"]
+
+
+def _run(capsys, argv):
+    rc = main(argv)
+    captured = capsys.readouterr()
+    return rc, captured.out, captured.err
+
+
+class TestServeValidation:
+    def test_unwritable_registry_dir(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("a file where a directory must go")
+        rc, _, err = _run(
+            capsys, BASE + ["--registry", str(blocker / "models")]
+        )
+        assert rc == 2
+        assert "--registry" in err and "not writable" in err
+        assert "Traceback" not in err
+
+    @pytest.mark.parametrize("window", ["0", "-1.5"])
+    def test_non_positive_batch_window(self, tmp_path, capsys, window):
+        rc, _, err = _run(
+            capsys,
+            BASE + ["--registry", str(tmp_path), "--batch-window", window],
+        )
+        assert rc == 2
+        assert "--batch-window must be positive" in err
+
+    @pytest.mark.parametrize(
+        "flag,value,needle",
+        [
+            ("--batch-max", "0", "--batch-max"),
+            ("--queue-depth", "0", "--queue-depth"),
+            ("--mem-models", "0", "--mem-models"),
+            ("--load-gen", "0", "--load-gen"),
+        ],
+    )
+    def test_non_positive_knobs(self, tmp_path, capsys, flag, value, needle):
+        rc, _, err = _run(
+            capsys, BASE + ["--registry", str(tmp_path), flag, value]
+        )
+        assert rc == 2 and needle in err
+
+    def test_unknown_app_checked_before_fitting(self, tmp_path, capsys):
+        rc, _, err = _run(
+            capsys,
+            ["serve", "--app", "nope", "--train", "4,8,16",
+             "--registry", str(tmp_path / "reg")],
+        )
+        assert rc == 2 and "unknown application" in err
+        # validation failed before the registry was even created
+        assert not (tmp_path / "reg").exists()
+
+
+class TestServeLoadGen:
+    def test_load_gen_reports_and_persists(self, tmp_path, capsys):
+        registry = tmp_path / "reg"
+        manifest = tmp_path / "run_manifest.json"
+        rc, out, _ = _run(
+            capsys,
+            BASE
+            + [
+                "--registry", str(registry),
+                "--load-gen", "120",
+                "--load-targets", "32,64,128",
+                "--manifest-out", str(manifest),
+            ],
+        )
+        assert rc == 0
+        line = next(
+            ln for ln in out.splitlines() if ln.startswith("serve-load:")
+        )
+        assert "qps=" in line and "p95_ms=" in line and "mean_batch=" in line
+        assert "rejected=0" in line
+        # one model landed in the registry's sharded tree
+        assert len(list(registry.glob("*/*/meta.json"))) == 1
+        # the manifest digests the serve summary artifact
+        doc = json.loads(manifest.read_text())
+        assert "serve_summary.json" in doc["outputs"]
+
+    def test_second_run_reuses_the_registry(self, tmp_path, capsys):
+        registry = tmp_path / "reg"
+        argv = BASE + [
+            "--registry", str(registry),
+            "--load-gen", "40",
+            "--load-targets", "32,64",
+        ]
+        assert _run(capsys, argv)[0] == 0
+        assert _run(capsys, argv)[0] == 0
+        # same spec, same digest: still exactly one persisted model
+        assert len(list(registry.glob("*/*/meta.json"))) == 1
+
+
+class TestServeStdin:
+    def _serve_stdin(self, tmp_path, capsys, monkeypatch, lines):
+        monkeypatch.setattr(
+            "sys.stdin", io.StringIO("".join(f"{ln}\n" for ln in lines))
+        )
+        rc, out, err = _run(
+            capsys, BASE + ["--registry", str(tmp_path / "reg")]
+        )
+        return rc, [json.loads(ln) for ln in out.splitlines() if ln]
+
+    def test_answers_requests_and_isolates_bad_lines(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        rc, docs = self._serve_stdin(
+            tmp_path,
+            capsys,
+            monkeypatch,
+            [
+                '{"id": 1, "target": 64}',
+                "not json at all",
+                '{"id": 3, "target": -5}',
+                '{"id": 4, "target": 128, "tenant": "t2"}',
+            ],
+        )
+        assert rc == 0
+        by_id = {doc["id"]: doc for doc in docs}
+        assert by_id[1]["ok"] and by_id[1]["target"] == 64
+        assert set(by_id[1]["mean_hit_rates"]) == {"L1", "L2", "L3"}
+        assert len(by_id[1]["features_sha256"]) == 64
+        assert by_id[4]["ok"]
+        assert not by_id[3]["ok"] and "positive" in by_id[3]["error"]
+        bad = [d for d in docs if d["id"] is None]
+        assert len(bad) == 1 and not bad[0]["ok"]
+
+    def test_answers_are_bit_identical_across_runs(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        lines = ['{"id": 1, "target": 64}']
+        _, first = self._serve_stdin(tmp_path, capsys, monkeypatch, lines)
+        rc, second = self._serve_stdin(tmp_path, capsys, monkeypatch, lines)
+        assert rc == 0
+        # run 1 fitted the model, run 2 served it from the registry:
+        # the feature digests must agree bit for bit
+        assert (
+            first[0]["features_sha256"] == second[0]["features_sha256"]
+        )

@@ -1,0 +1,191 @@
+"""Micro-batcher unit tests: flush triggers, key discipline, fan-out.
+
+The batcher is pure asyncio plumbing — these tests drive it with a
+recording executor instead of real models, so every edge case (deadline
+flush with a half-full batch, incompatible keys, cancellation mid-batch,
+executor failure) is exercised deterministically and fast.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.serve import MicroBatcher
+from repro.util.errors import ServeError
+
+
+class Recorder:
+    """Batch executor that logs every (key, items) call it serves."""
+
+    def __init__(self, fail_for=()):
+        self.calls = []
+        self.fail_for = set(fail_for)
+
+    def __call__(self, key, items):
+        self.calls.append((key, list(items)))
+        if key in self.fail_for:
+            raise RuntimeError(f"executor failure for {key}")
+        return [f"{key}:{item}" for item in items]
+
+
+def test_size_flush_batches_everything_at_once():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=4, window_s=60.0)
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(4))
+        )
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(main())
+    # one call, all four items, results fanned back in submission order
+    assert len(recorder.calls) == 1
+    assert recorder.calls[0] == ("k", [0, 1, 2, 3])
+    assert results == ["k:0", "k:1", "k:2", "k:3"]
+    assert batcher.stats.size_flushes == 1
+    assert batcher.stats.deadline_flushes == 0
+    assert batcher.stats.batches == 1
+    assert batcher.stats.queries == 4
+
+
+def test_deadline_flush_with_half_full_batch():
+    async def main():
+        recorder = Recorder()
+        # max_batch far above what we submit: only the deadline can fire
+        batcher = MicroBatcher(recorder, max_batch=64, window_s=0.01)
+        results = await asyncio.gather(
+            *(batcher.submit("k", i) for i in range(3))
+        )
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(main())
+    assert results == ["k:0", "k:1", "k:2"]
+    assert len(recorder.calls) == 1
+    assert batcher.stats.deadline_flushes == 1
+    assert batcher.stats.size_flushes == 0
+
+
+def test_incompatible_keys_are_never_cobatched():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, window_s=0.01)
+        results = await asyncio.gather(
+            batcher.submit(("model-a", "features"), 1),
+            batcher.submit(("model-b", "features"), 2),
+            batcher.submit(("model-a", "runtime"), 3),
+            batcher.submit(("model-a", "features"), 4),
+        )
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(main())
+    # three distinct keys -> three batches; same-key queries co-batch
+    assert batcher.stats.batches == 3
+    by_key = {key: items for key, items in recorder.calls}
+    assert by_key[("model-a", "features")] == [1, 4]
+    assert by_key[("model-b", "features")] == [2]
+    assert by_key[("model-a", "runtime")] == [3]
+    for key, items in recorder.calls:
+        assert len({key}) == 1  # every call carries exactly one key
+    assert results[0] == "('model-a', 'features'):1"
+
+
+def test_cancellation_mid_batch_leaves_others_unaffected():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, window_s=0.05)
+        tasks = [
+            asyncio.ensure_future(batcher.submit("k", i)) for i in range(3)
+        ]
+        # let the submits land in the pending batch, then abandon one
+        await asyncio.sleep(0)
+        tasks[1].cancel()
+        done = await asyncio.gather(*tasks, return_exceptions=True)
+        return recorder, batcher, done
+
+    recorder, batcher, done = asyncio.run(main())
+    assert done[0] == "k:0"
+    assert isinstance(done[1], asyncio.CancelledError)
+    assert done[2] == "k:2"
+    # the cancelled query never reached the executor
+    assert recorder.calls == [("k", [0, 2])]
+    assert batcher.stats.cancelled == 1
+    assert batcher.stats.queries == 3
+
+
+def test_whole_batch_cancelled_skips_execution():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, window_s=0.01)
+        tasks = [
+            asyncio.ensure_future(batcher.submit("k", i)) for i in range(2)
+        ]
+        await asyncio.sleep(0)
+        for t in tasks:
+            t.cancel()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        # wait out the deadline so the (empty) flush happens
+        await asyncio.sleep(0.03)
+        return recorder, batcher
+
+    recorder, batcher = asyncio.run(main())
+    assert recorder.calls == []
+    assert batcher.stats.batches == 0
+    assert batcher.stats.cancelled == 2
+
+
+def test_executor_failure_fans_out_to_every_submitter():
+    async def main():
+        recorder = Recorder(fail_for={"bad"})
+        batcher = MicroBatcher(recorder, max_batch=2, window_s=60.0)
+        return await asyncio.gather(
+            batcher.submit("bad", 1),
+            batcher.submit("bad", 2),
+            return_exceptions=True,
+        )
+
+    outcomes = asyncio.run(main())
+    assert all(isinstance(o, RuntimeError) for o in outcomes)
+
+
+def test_result_count_mismatch_is_a_serve_error():
+    async def main():
+        batcher = MicroBatcher(
+            lambda key, items: ["only-one"], max_batch=2, window_s=60.0
+        )
+        return await asyncio.gather(
+            batcher.submit("k", 1),
+            batcher.submit("k", 2),
+            return_exceptions=True,
+        )
+
+    outcomes = asyncio.run(main())
+    assert all(isinstance(o, ServeError) for o in outcomes)
+
+
+def test_flush_all_drains_open_batches_immediately():
+    async def main():
+        recorder = Recorder()
+        batcher = MicroBatcher(recorder, max_batch=64, window_s=60.0)
+        tasks = [
+            asyncio.ensure_future(batcher.submit("k", i)) for i in range(2)
+        ]
+        await asyncio.sleep(0)
+        assert batcher.pending_keys == ["k"]
+        batcher.flush_all()
+        results = await asyncio.gather(*tasks)
+        return recorder, batcher, results
+
+    recorder, batcher, results = asyncio.run(main())
+    assert results == ["k:0", "k:1"]
+    assert batcher.stats.drain_flushes == 1
+    assert batcher.pending_keys == []
+
+
+@pytest.mark.parametrize(
+    "kwargs", [{"max_batch": 0}, {"window_s": 0.0}, {"window_s": -1.0}]
+)
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ServeError):
+        MicroBatcher(lambda k, items: items, **kwargs)

@@ -1,0 +1,227 @@
+"""Query-engine tests: batching identity, admission, fairness.
+
+Everything runs on a memory-tier registry with the session-fitted Jacobi
+model; the event loop is driven explicitly (tasks + ``sleep(0)``) where
+dispatch order matters, so the fairness and admission assertions are
+deterministic.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    FittedModel,
+    ModelRegistry,
+    Query,
+    QueryEngine,
+    ServeConfig,
+)
+from repro.util.errors import AdmissionError, ServeError
+
+
+def _engine(serve_model, **config_kwargs) -> QueryEngine:
+    reg = ModelRegistry(root=None, mem_entries=4)
+    reg.put(serve_model)
+    defaults = {"max_batch": 16, "window_s": 0.005}
+    defaults.update(config_kwargs)
+    return QueryEngine(
+        reg,
+        default_model=serve_model.digest,
+        config=ServeConfig(**defaults),
+    )
+
+
+async def _settle(n: int = 3) -> None:
+    """Let already-runnable tasks advance without waiting wall-clock."""
+    for _ in range(n):
+        await asyncio.sleep(0)
+
+
+def test_batched_answers_bit_identical_to_sequential(serve_model):
+    targets = [32, 64, 128, 256]
+    queries = [Query(target=targets[i % len(targets)]) for i in range(32)]
+
+    async def main():
+        engine = _engine(serve_model)
+        await engine.start()
+        answers = await asyncio.gather(*(engine.query(q) for q in queries))
+        await engine.stop()
+        return answers
+
+    answers = asyncio.run(main())
+    # the contract: a coalesced answer is bit-identical to what a
+    # sequential single-target predict_many would have returned
+    for q, a in zip(queries, answers):
+        expected = serve_model.predict([q.target]).values[0]
+        assert np.array_equal(a.values, expected)
+    # and the queries actually shared array passes
+    assert max(a.batch_size for a in answers) > 1
+
+
+def test_distinct_models_never_share_a_batch(serve_model):
+    other = FittedModel(
+        spec=replace(serve_model.spec, code_version="other-build"),
+        report=serve_model.report,
+        template=serve_model.template,
+    )
+
+    async def main():
+        engine = _engine(serve_model, max_batch=64)
+        engine.registry.put(other)
+        await engine.start()
+        answers = await asyncio.gather(
+            *(engine.query(Query(target=64)) for _ in range(4)),
+            *(
+                engine.query(Query(target=64, model=other.digest))
+                for _ in range(4)
+            ),
+        )
+        await engine.stop()
+        return engine, answers
+
+    engine, answers = asyncio.run(main())
+    # eight concurrent queries, but two models -> two batches of four
+    assert engine.batcher.stats.batches == 2
+    assert all(a.batch_size == 4 for a in answers)
+    assert {a.model for a in answers} == {serve_model.digest, other.digest}
+
+
+def test_unknown_model_is_rejected_up_front(serve_model):
+    async def main():
+        engine = _engine(serve_model)
+        await engine.start()
+        try:
+            with pytest.raises(ServeError):
+                await engine.query(Query(target=64, model="f" * 64))
+        finally:
+            await engine.stop()
+
+    asyncio.run(main())
+
+
+def test_query_validation(serve_model):
+    with pytest.raises(ServeError):
+        Query(target=0)
+    with pytest.raises(ServeError):
+        Query(target=64, kind="vibes")
+    with pytest.raises(ServeError):
+        ServeConfig(admission="maybe")
+
+
+def test_admission_reject_sheds_overflow(serve_model):
+    async def main():
+        engine = _engine(
+            serve_model, queue_depth=2, admission="reject"
+        )
+        # enqueue while the dispatcher is *not* running: the queue fills
+        tasks = [
+            asyncio.ensure_future(engine.query(Query(target=64)))
+            for _ in range(4)
+        ]
+        await _settle()
+        rejected = [t for t in tasks if t.done() and t.exception()]
+        assert len(rejected) == 2
+        assert all(
+            isinstance(t.exception(), AdmissionError) for t in rejected
+        )
+        # the admitted queries are still answered once serving starts
+        await engine.start()
+        survivors = [t for t in tasks if t not in rejected]
+        answers = await asyncio.gather(*survivors)
+        await engine.stop()
+        return engine, answers
+
+    engine, answers = asyncio.run(main())
+    assert len(answers) == 2
+    assert engine.stats.rejected == 2
+    assert engine.stats.answered == 2
+
+
+def test_admission_wait_applies_backpressure_without_loss(serve_model):
+    async def main():
+        engine = _engine(serve_model, queue_depth=1, admission="wait")
+        tasks = [
+            asyncio.ensure_future(engine.query(Query(target=64)))
+            for _ in range(3)
+        ]
+        await _settle()
+        # nothing rejected; the overflow callers are parked waiting
+        assert not any(t.done() for t in tasks)
+        assert engine.stats.backpressure_waits >= 2
+        await engine.start()
+        answers = await asyncio.gather(*tasks)
+        await engine.stop()
+        return answers
+
+    answers = asyncio.run(main())
+    assert len(answers) == 3 and all(a.values is not None for a in answers)
+
+
+def test_dispatch_round_robins_across_tenants(serve_model):
+    async def main():
+        engine = _engine(serve_model, max_batch=64)
+        tasks = []
+        # tenant A floods first, then B files two queries
+        for _ in range(6):
+            tasks.append(
+                asyncio.ensure_future(
+                    engine.query(Query(target=64, tenant="A"))
+                )
+            )
+            await asyncio.sleep(0)
+        for _ in range(2):
+            tasks.append(
+                asyncio.ensure_future(
+                    engine.query(Query(target=64, tenant="B"))
+                )
+            )
+            await asyncio.sleep(0)
+        await engine.start()
+        await asyncio.gather(*tasks)
+        await engine.stop()
+        return engine
+
+    engine = asyncio.run(main())
+    # one query per tenant per cycle: B is served long before A drains
+    assert engine.dispatch_log[:4] == ["A", "B", "A", "B"]
+    assert engine.dispatch_log.count("A") == 6
+    assert engine.dispatch_log.count("B") == 2
+
+
+def test_stop_drains_enqueued_queries(serve_model):
+    async def main():
+        engine = _engine(serve_model, window_s=30.0)  # deadline never fires
+        tasks = [
+            asyncio.ensure_future(engine.query(Query(target=t)))
+            for t in (32, 64, 128)
+        ]
+        await _settle()
+        await engine.start()
+        # drain must flush the open (half-full) batch immediately
+        await engine.stop(drain=True)
+        return await asyncio.gather(*tasks)
+
+    answers = asyncio.run(main())
+    assert [a.target for a in answers] == [32, 64, 128]
+    assert all(a.batch_size == 3 for a in answers)
+
+
+def test_summary_reports_all_layers(serve_model):
+    async def main():
+        engine = _engine(serve_model)
+        await engine.start()
+        await engine.query(Query(target=64))
+        await engine.stop()
+        return engine.summary()
+
+    summary = asyncio.run(main())
+    assert summary["engine"]["answered"] == 1
+    assert summary["batcher"]["batches"] == 1
+    assert summary["latency"]["count"] == 1
+    assert summary["latency"]["p95_s"] >= summary["latency"]["p50_s"] >= 0.0
+    assert "mem_hits" in summary["registry"]

@@ -1,0 +1,159 @@
+"""Model registry tests: digest keying, tiered storage, bit-identity.
+
+The registry's contract is that a persisted model answers exactly like
+the in-memory one it was built from — same digests, same predictions to
+the bit — while the memory tier's LRU accounting mirrors the
+ProfileCache idiom (mem/disk hits, misses, stores, evictions).
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.serve import FittedModel, ModelRegistry, ModelSpec
+from repro.util.errors import ServeError
+
+TARGETS = [32, 64, 128]
+
+
+def _variant(model: FittedModel, **spec_changes) -> FittedModel:
+    """The same fit under a different identity (for multi-model tests)."""
+    return FittedModel(
+        spec=replace(model.spec, **spec_changes),
+        report=model.report,
+        template=model.template,
+    )
+
+
+class TestModelSpec:
+    def test_digest_is_stable_and_order_insensitive(self):
+        a = ModelSpec(app="jacobi", train_counts=(16, 4, 8), code_version="v1")
+        b = ModelSpec(app="jacobi", train_counts=(4, 8, 16), code_version="v1")
+        assert a.digest() == b.digest()
+        assert a.train_counts == (4, 8, 16)
+
+    @pytest.mark.parametrize(
+        "changes",
+        [
+            {"app": "uh3d"},
+            {"machine": "cray_xt5"},
+            {"train_counts": (4, 8, 32)},
+            {"cache_engine": "reuse"},
+            {"forms": "extended"},
+            {"code_version": "v2"},
+        ],
+    )
+    def test_every_identity_field_changes_the_digest(self, changes):
+        base = ModelSpec(app="jacobi", train_counts=(4, 8, 16), code_version="v1")
+        assert replace(base, **changes).digest() != base.digest()
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ServeError):
+            ModelSpec(app="jacobi", train_counts=(4,))
+        with pytest.raises(ServeError):
+            ModelSpec(app="jacobi", cache_engine="quantum")
+        with pytest.raises(ServeError):
+            ModelSpec(app="jacobi", forms="cubist")
+
+    def test_roundtrips_through_dict(self):
+        spec = ModelSpec(
+            app="jacobi",
+            train_counts=(4, 8, 16),
+            cache_engine="reuse",
+            forms="extended",
+            code_version="v1",
+        )
+        assert ModelSpec.from_dict(spec.to_dict()) == spec
+
+
+class TestRegistryTiers:
+    def test_memory_roundtrip(self, serve_model):
+        reg = ModelRegistry(root=None)
+        digest = reg.put(serve_model)
+        assert digest == serve_model.digest
+        assert serve_model.spec in reg
+        assert reg.get(serve_model.spec) is serve_model
+        assert reg.stats.mem_hits == 1 and reg.stats.stores == 1
+
+    def test_miss_is_counted(self, serve_model):
+        reg = ModelRegistry(root=None)
+        assert reg.get(serve_model.spec) is None
+        assert reg.stats.misses == 1
+
+    def test_disk_tier_survives_memory_clear(self, tmp_path, serve_model):
+        reg = ModelRegistry(tmp_path / "models")
+        reg.put(serve_model)
+        reg.clear_memory()
+        loaded = reg.get(serve_model.spec)
+        assert loaded is not None and loaded is not serve_model
+        assert reg.stats.disk_hits == 1
+        # the big fit matrices come back memory-mapped
+        assert isinstance(loaded.report.batch.Y, np.memmap)
+        assert loaded.spec == serve_model.spec
+
+    def test_persisted_model_predicts_bit_identically(
+        self, tmp_path, serve_model
+    ):
+        reg = ModelRegistry(tmp_path / "models")
+        reg.put(serve_model)
+        reg.clear_memory()
+        loaded = reg.get(serve_model.spec)
+        fresh = serve_model.predict(TARGETS)
+        persisted = loaded.predict(TARGETS)
+        assert np.array_equal(fresh.values, persisted.values)
+        assert persisted.pair_keys == fresh.pair_keys
+        # synthesized traces match too (the runtime-query path)
+        t_fresh = serve_model.synthesize(64)
+        t_loaded = loaded.synthesize(64)
+        assert np.array_equal(
+            t_fresh.stacked_features(), t_loaded.stacked_features()
+        )
+
+    def test_lru_eviction_counts(self, serve_model):
+        reg = ModelRegistry(root=None, mem_entries=1)
+        reg.put(serve_model)
+        reg.put(_variant(serve_model, code_version="other-build"))
+        assert reg.stats.evictions == 1
+        # memory-only registry: the evicted model is gone
+        assert reg.get(serve_model.spec) is None
+        assert reg.stats.misses == 1
+
+    def test_eviction_falls_back_to_disk(self, tmp_path, serve_model):
+        reg = ModelRegistry(tmp_path / "models", mem_entries=1)
+        reg.put(serve_model)
+        reg.put(_variant(serve_model, code_version="other-build"))
+        assert reg.stats.evictions == 1
+        assert reg.get(serve_model.spec) is not None
+        assert reg.stats.disk_hits == 1
+
+    def test_digests_lists_both_tiers(self, tmp_path, serve_model):
+        reg = ModelRegistry(tmp_path / "models", mem_entries=1)
+        other = _variant(serve_model, code_version="other-build")
+        reg.put(serve_model)
+        reg.put(other)  # evicts serve_model from memory, both on disk
+        assert set(reg.digests()) == {serve_model.digest, other.digest}
+        assert len(reg) == 2
+
+    def test_corrupt_metadata_surfaces_as_serve_error(
+        self, tmp_path, serve_model
+    ):
+        reg = ModelRegistry(tmp_path / "models")
+        reg.put(serve_model)
+        reg.clear_memory()
+        meta = (
+            tmp_path
+            / "models"
+            / serve_model.digest[:2]
+            / serve_model.digest
+            / "meta.json"
+        )
+        meta.write_text("{ not json")
+        with pytest.raises(ServeError):
+            reg.get(serve_model.spec)
+
+    def test_bad_mem_entries_rejected(self):
+        with pytest.raises(ServeError):
+            ModelRegistry(root=None, mem_entries=0)
