@@ -77,7 +77,7 @@ def served_model():
     return FittedModel(spec=spec, report=report, template=template)
 
 
-def _serve(model: FittedModel, queries, *, max_batch: int):
+def _serve(model: FittedModel, queries, *, max_batch: int, **config):
     """Run one load against a fresh engine; return (report, answers)."""
 
     async def main():
@@ -86,7 +86,9 @@ def _serve(model: FittedModel, queries, *, max_batch: int):
         engine = QueryEngine(
             registry,
             default_model=model.digest,
-            config=ServeConfig(max_batch=max_batch, window_s=0.002),
+            config=ServeConfig(
+                max_batch=max_batch, window_s=0.002, **config
+            ),
         )
         await engine.start()
         report, answers = await run_load(engine, queries)
@@ -147,3 +149,42 @@ def test_micro_batched_throughput_vs_unbatched(served_model):
         f"micro-batched serving only {speedup:.1f}x faster than the "
         f"unbatched engine (need >= {MIN_SERVE_SPEEDUP}x)"
     )
+
+
+def test_resilience_overhead_within_budget(served_model):
+    """Resilience must be nearly free on the clean path: <= 5% qps cost.
+
+    ``hardened=False`` strips the deadline checks, breaker bookkeeping,
+    and offload decision from the hot path; the hardened default (with
+    no faults injected and no deadlines set) must stay within 5% of
+    that bare engine's throughput.  Best-of-2 per side damps scheduler
+    noise; the assertion is skipped in smoke mode where shared runners
+    make a single-digit-percent bound meaningless, but the measured
+    number is still merged into the bench record either way.
+    """
+    queries = synthetic_queries(LOAD)
+
+    def best_qps(**config):
+        return max(
+            _serve(served_model, queries, max_batch=64, **config)[0].qps
+            for _ in range(2)
+        )
+
+    _serve(served_model, queries[:8], max_batch=64)  # warm
+    hardened_qps = best_qps(hardened=True)
+    bare_qps = best_qps(hardened=False)
+    overhead_pct = (bare_qps - hardened_qps) / bare_qps * 100.0
+
+    merge_bench(
+        "BENCH_pipeline",
+        {
+            "serve_hardened_qps": round(hardened_qps, 1),
+            "serve_bare_qps": round(bare_qps, 1),
+            "serve_resilience_overhead_pct": round(overhead_pct, 2),
+        },
+    )
+    if not SMOKE:
+        assert overhead_pct <= 5.0, (
+            f"hardened serving costs {overhead_pct:.1f}% throughput "
+            f"vs the bare engine (budget: 5%)"
+        )

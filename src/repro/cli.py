@@ -437,6 +437,7 @@ def _write_manifest(
     report: Optional[RunReport] = None,
     journal: Optional[RunJournal] = None,
     guard: Optional[DegradationReport] = None,
+    serve=None,
     path: Optional[str] = None,
 ) -> None:
     """Write the run manifest when a path was requested (or defaulted)."""
@@ -460,6 +461,7 @@ def _write_manifest(
         guard=guard,
         tracer=obs_trace.current() if obs_trace.is_enabled() else None,
         profile_cache=profile_cache,
+        serve=serve,
     )
     obs_manifest.write_manifest(path, doc)
     log.info("wrote run manifest: %s", path)
@@ -767,7 +769,12 @@ async def _serve_answer_one(engine, req_id, query, schema) -> None:
     try:
         answer = await engine.query(query)
     except ReproError as exc:
-        doc = {"id": req_id, "ok": False, "error": str(exc)}
+        doc = {
+            "id": req_id,
+            "ok": False,
+            "error": str(exc),
+            "error_type": type(exc).__name__,
+        }
     else:
         doc = {
             "id": req_id,
@@ -783,56 +790,130 @@ async def _serve_answer_one(engine, req_id, query, schema) -> None:
     print(json.dumps(doc), flush=True)
 
 
-async def _serve_stdin_loop(engine, schema) -> None:
-    """JSONL request/response over stdin/stdout until EOF."""
+def _install_drain_handlers(loop, callback) -> list:
+    """Route SIGTERM/SIGINT into ``callback`` on the loop (best effort).
+
+    Returns the signals actually hooked, so the caller can unhook them.
+    Platforms without loop signal support (Windows) fall back to the
+    default KeyboardInterrupt behavior.
+    """
+    import signal
+
+    hooked = []
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            loop.add_signal_handler(sig, callback)
+        except (NotImplementedError, RuntimeError, ValueError):
+            continue
+        hooked.append(sig)
+    return hooked
+
+
+async def _serve_stdin_loop(engine, schema, *, deadline_ms=None) -> bool:
+    """JSONL request/response over stdin/stdout until EOF or a signal.
+
+    Returns True when the exit was a graceful drain (SIGTERM/SIGINT):
+    admission stops, open batches deadline-flush, in-flight queries are
+    answered — never a mid-batch teardown.
+    """
     import asyncio
+    import threading
 
     from repro.serve import Query
 
     await engine.start()
     loop = asyncio.get_running_loop()
+    #: reader → loop handoff; None is the drain sentinel, "" is EOF
+    lines: asyncio.Queue = asyncio.Queue()
+
+    def _reader() -> None:
+        # a dedicated daemon thread, NOT the default executor: a
+        # readline blocked on a quiet stdin would otherwise be joined
+        # by asyncio.run's shutdown and wedge the drain forever
+        while True:
+            line = sys.stdin.readline()
+            try:
+                loop.call_soon_threadsafe(lines.put_nowait, line)
+            except RuntimeError:  # loop already closed
+                return
+            if not line:
+                return
+
+    threading.Thread(target=_reader, name="serve-stdin", daemon=True).start()
+    hooked = _install_drain_handlers(loop, lambda: lines.put_nowait(None))
     pending: set = set()
-    while True:
-        line = await loop.run_in_executor(None, sys.stdin.readline)
-        if not line:
-            break
-        line = line.strip()
-        if not line:
-            continue
-        req_id = None
-        try:
-            req = json.loads(line)
-            req_id = req.get("id") if isinstance(req, dict) else None
-            query = Query(
-                target=int(req["target"]),
-                tenant=str(req.get("tenant", "default")),
-                kind=str(req.get("kind", "features")),
+    drained = False
+    try:
+        while True:
+            line = await lines.get()
+            if line is None:
+                drained = True
+                break
+            if not line:
+                break
+            line = line.strip()
+            if not line:
+                continue
+            req_id = None
+            try:
+                req = json.loads(line)
+                req_id = req.get("id") if isinstance(req, dict) else None
+                deadline = req.get("deadline_ms", deadline_ms)
+                query = Query(
+                    target=int(req["target"]),
+                    tenant=str(req.get("tenant", "default")),
+                    kind=str(req.get("kind", "features")),
+                    deadline_ms=(
+                        float(deadline) if deadline is not None else None
+                    ),
+                )
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError,
+                    ReproError) as exc:
+                print(
+                    json.dumps({"id": req_id, "ok": False, "error": str(exc)}),
+                    flush=True,
+                )
+                continue
+            task = asyncio.ensure_future(
+                _serve_answer_one(engine, req_id, query, schema)
             )
-        except (json.JSONDecodeError, KeyError, TypeError, ValueError,
-                ReproError) as exc:
-            print(
-                json.dumps({"id": req_id, "ok": False, "error": str(exc)}),
-                flush=True,
-            )
-            continue
-        task = asyncio.ensure_future(
-            _serve_answer_one(engine, req_id, query, schema)
-        )
-        pending.add(task)
-        task.add_done_callback(pending.discard)
+            pending.add(task)
+            task.add_done_callback(pending.discard)
+    finally:
+        for sig in hooked:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
+    # yield once so every accepted request has entered the engine —
+    # a request read before EOF/drain must not see a closed door
+    await asyncio.sleep(0)
+    engine.stop_admission()
     if pending:
         await asyncio.gather(*pending, return_exceptions=True)
     await engine.stop()
+    return drained
 
 
 async def _serve_load_main(engine, load_spec, digest):
+    import asyncio
+
     from repro.serve import run_load, synthetic_queries
 
     await engine.start()
+    loop = asyncio.get_running_loop()
+    # a signal mid-load closes admission: the unsubmitted remainder is
+    # counted as rejected and the run exits 0 with its partial report
+    hooked = _install_drain_handlers(loop, engine.stop_admission)
     queries = synthetic_queries(load_spec, model=digest)
     try:
-        return await run_load(engine, queries)
+        return await run_load(engine, queries, spec=load_spec)
     finally:
+        for sig in hooked:
+            try:
+                loop.remove_signal_handler(sig)
+            except (NotImplementedError, RuntimeError, ValueError):
+                pass
         await engine.stop()
 
 
@@ -873,6 +954,38 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise UsageError(
             f"--load-gen must be >= 1, got {args.load_gen}"
         )
+    if args.deadline_ms is not None and not args.deadline_ms > 0:
+        raise UsageError(
+            f"--deadline-ms must be positive, got {args.deadline_ms}"
+        )
+    if args.breaker_threshold < 1:
+        raise UsageError(
+            f"--breaker-threshold must be >= 1, got {args.breaker_threshold}"
+        )
+    if not args.breaker_open_ms > 0:
+        raise UsageError(
+            f"--breaker-open-ms must be positive, got {args.breaker_open_ms}"
+        )
+    if args.registry_budget_mb is not None and not args.registry_budget_mb > 0:
+        raise UsageError(
+            f"--registry-budget-mb must be positive, "
+            f"got {args.registry_budget_mb}"
+        )
+    if args.runtime_workers < 0:
+        raise UsageError(
+            f"--runtime-workers must be >= 0, got {args.runtime_workers}"
+        )
+    if args.load_waves < 1:
+        raise UsageError(
+            f"--load-waves must be >= 1, got {args.load_waves}"
+        )
+    if args.load_wave_interval_ms < 0:
+        raise UsageError(
+            f"--load-wave-interval-ms must be >= 0, "
+            f"got {args.load_wave_interval_ms}"
+        )
+    if args.summary_out:
+        _check_writable("--summary-out", args.summary_out, is_dir=False)
 
     cache = _build_cache(args)
     fit_config = Table1Config(
@@ -885,7 +998,11 @@ def cmd_serve(args: argparse.Namespace) -> int:
         ),
         cache=cache,
     )
-    registry = ModelRegistry(registry_dir, mem_entries=args.mem_models)
+    registry = ModelRegistry(
+        registry_dir,
+        mem_entries=args.mem_models,
+        budget_mb=args.registry_budget_mb,
+    )
     spec = ModelSpec(
         app=args.app,
         machine=args.machine,
@@ -909,6 +1026,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
             window_s=args.batch_window / 1e3,
             queue_depth=args.queue_depth,
             admission=args.admission,
+            hardened=not args.no_harden,
+            breaker_threshold=args.breaker_threshold,
+            breaker_open_s=args.breaker_open_ms / 1e3,
+            runtime_workers=args.runtime_workers,
         ),
     )
 
@@ -924,33 +1045,56 @@ def cmd_serve(args: argparse.Namespace) -> int:
             tenants=tuple(f"tenant{i}" for i in range(args.load_tenants)),
             kind=args.load_kind,
             name=args.load_name,
+            deadline_ms=args.deadline_ms,
+            waves=args.load_waves,
+            wave_interval_s=args.load_wave_interval_ms / 1e3,
         )
         report, _answers = asyncio.run(
             _serve_load_main(engine, load_spec, model.digest)
         )
-        r = report.to_dict()
+        load_report = report.to_dict()
+        r = load_report
         print(
             f"serve-load: n={r['n_queries']} qps={r['qps']} "
             f"p50_ms={round(r['p50_ms'], 3)} p95_ms={round(r['p95_ms'], 3)} "
-            f"mean_batch={r['mean_batch']} rejected={r['rejected']}"
+            f"mean_batch={r['mean_batch']} rejected={r['rejected']} "
+            f"errors={r['errors']}"
         )
+        drained = engine.draining
     else:
-        asyncio.run(_serve_stdin_loop(engine, model.template.schema))
+        load_report = None
+        drained = asyncio.run(
+            _serve_stdin_loop(
+                engine, model.template.schema, deadline_ms=args.deadline_ms
+            )
+        )
 
     summary = engine.summary()
+    if load_report is not None:
+        summary["load"] = load_report
+    if drained:
+        s = engine.stats
+        print(
+            f"serve-drain: answered={s.answered} failed={s.failed} "
+            f"rejected={s.rejected} {engine.report.summary()}",
+            file=sys.stderr,
+        )
     log.info("serve summary: %s", summary)
     _log_cache_stats(cache)
+    summary_bytes = (
+        json.dumps(summary, indent=2, sort_keys=True) + "\n"
+    ).encode("utf-8")
+    if args.summary_out:
+        Path(args.summary_out).write_bytes(summary_bytes)
+        log.info("wrote serve summary: %s", args.summary_out)
     _write_manifest(
         args,
         command="serve",
-        outputs={
-            "serve_summary.json": (
-                json.dumps(summary, indent=2, sort_keys=True) + "\n"
-            ).encode("utf-8"),
-        },
+        outputs={"serve_summary.json": summary_bytes},
         app=app.name,
         machine=args.machine,
         cache=cache,
+        serve=engine.report,
     )
     return 0
 
@@ -1100,6 +1244,44 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--load-name", default="cli", metavar="NAME",
                    help="keyed-RNG stream name: same name, same load "
                         "(default 'cli')")
+    p.add_argument("--load-waves", type=int, default=1, metavar="N",
+                   help="split the synthetic load into N sequential "
+                        "arrival waves (default 1: all at once)")
+    p.add_argument("--load-wave-interval-ms", type=float, default=0.0,
+                   metavar="MS",
+                   help="quiet gap between load waves in milliseconds "
+                        "(default 0); chaos runs use this so opened "
+                        "circuit breakers can half-open and close")
+    p.add_argument("--deadline-ms", type=float, default=None, metavar="MS",
+                   help="default per-query deadline: queries not "
+                        "answered in time fail fast with "
+                        "DeadlineExceededError instead of waiting "
+                        "(JSONL requests may override per query; "
+                        "default: no deadline)")
+    p.add_argument("--breaker-threshold", type=int, default=5, metavar="K",
+                   help="consecutive batch failures that open a "
+                        "model's circuit breaker (default 5)")
+    p.add_argument("--breaker-open-ms", type=float, default=250.0,
+                   metavar="MS",
+                   help="base open window before a breaker's half-open "
+                        "probe, jittered +0..25%% (default 250)")
+    p.add_argument("--registry-budget-mb", type=float, default=None,
+                   metavar="MB",
+                   help="disk budget for the model registry: after "
+                        "each store, least-recently-used entries are "
+                        "evicted until under budget (default: unbounded)")
+    p.add_argument("--runtime-workers", type=int, default=0, metavar="N",
+                   help="worker processes for offloaded runtime replay "
+                        "(default 0: serial in the offload thread, "
+                        "which still never blocks the event loop)")
+    p.add_argument("--no-harden", action="store_true",
+                   help="disable the serving resilience layer "
+                        "(circuit breakers, worker offload) — the "
+                        "overhead benchmark's baseline")
+    p.add_argument("--summary-out", default=None, metavar="FILE",
+                   help="also write serve_summary.json (engine, "
+                        "batcher, registry, resilience tallies) to "
+                        "this path")
     _add_exec_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve)

@@ -32,6 +32,17 @@ Fault kinds:
            collection (matched against the rank task key; consumed by
            :func:`poison_trace` in the collection path) — the fault
            that exercises the guard subsystem's degradation ladder
+``slow-predict``  sleep ``seconds`` inside a serving batch execution
+           (matched against the batch key ``serve:batch:<digest>:<kind>``
+           with the attempt number counting that key's batches) — the
+           fault that exercises per-query deadlines
+``predict-raise``  raise :class:`~repro.util.errors.ServeError` inside
+           a serving batch execution — the fault that drives the
+           per-model circuit breaker
+``corrupt-model-entry``  truncate one file of a just-persisted registry
+           model (``feature`` selects ``meta``/``matrix``/``template``;
+           matched against the model digest, attempts counting stores)
+           — the fault that exercises registry quarantine + refit
 =========  ==========================================================
 """
 
@@ -48,12 +59,21 @@ from functools import lru_cache
 from typing import Dict, Optional, Tuple
 
 from repro.exec.pool import in_worker
-from repro.util.errors import TaskCrashError, TransientTaskError
+from repro.util.errors import ServeError, TaskCrashError, TransientTaskError
 
 #: environment variable holding a JSON plan (or ``@path`` to one)
 ENV_FAULT_PLAN = "REPRO_FAULT_PLAN"
 
-KINDS = ("raise", "hang", "crash", "corrupt", "poison-trace")
+KINDS = (
+    "raise",
+    "hang",
+    "crash",
+    "corrupt",
+    "poison-trace",
+    "slow-predict",
+    "predict-raise",
+    "corrupt-model-entry",
+)
 
 #: exit status used by injected worker crashes (recognizable in logs)
 CRASH_EXIT_CODE = 17
@@ -156,6 +176,13 @@ _INSTALLED: Optional[FaultPlan] = None
 #: n-th store of a key; only advanced while a plan is active
 _STORE_COUNTS: Dict[str, int] = defaultdict(int)
 
+#: per-key count of serving batch executions, so serve specs can address
+#: the n-th batch of a key; only advanced while a plan is active
+_SERVE_COUNTS: Dict[str, int] = defaultdict(int)
+
+#: per-digest count of registry model stores (corrupt-model-entry)
+_MODEL_STORE_COUNTS: Dict[str, int] = defaultdict(int)
+
 
 @lru_cache(maxsize=8)
 def _parse_env_plan(value: str) -> FaultPlan:
@@ -171,6 +198,8 @@ def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
     previous = _INSTALLED
     _INSTALLED = plan
     _STORE_COUNTS.clear()
+    _SERVE_COUNTS.clear()
+    _MODEL_STORE_COUNTS.clear()
     return previous
 
 
@@ -259,3 +288,45 @@ def check_corrupt(key: str) -> Optional[FaultSpec]:
         return None
     _STORE_COUNTS[key] += 1
     return plan.spec_for(key, _STORE_COUNTS[key], kinds=("corrupt",))
+
+
+def apply_serve_fault(key: str) -> Optional[FaultSpec]:
+    """Fire any serving fault planned for this batch-execution key.
+
+    Called by the query engine at the top of every batch execution with
+    the batch key (``serve:batch:<digest12>:<kind>``); the attempt
+    number is the per-key batch count, so "fail the third batch" is one
+    spec.  ``slow-predict`` sleeps in place and returns its spec (the
+    engine tallies it); ``predict-raise`` raises a
+    :class:`~repro.util.errors.ServeError` that fans out to the batch
+    and feeds the model's circuit breaker.  A no-op without a plan.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    _SERVE_COUNTS[key] += 1
+    attempt = _SERVE_COUNTS[key]
+    spec = plan.spec_for(key, attempt, kinds=("slow-predict", "predict-raise"))
+    if spec is None:
+        return None
+    if spec.kind == "slow-predict":
+        time.sleep(spec.seconds)
+        return spec
+    raise ServeError(spec.message, stage="serve", task_key=key, attempts=attempt)
+
+
+def check_model_corrupt(digest: str) -> Optional[FaultSpec]:
+    """Corruption spec for the n-th registry store of ``digest``, if any.
+
+    Consumed by :meth:`repro.serve.registry.ModelRegistry.put`, which
+    truncates the file the spec's ``feature`` field names (``meta``,
+    ``matrix``, or ``template``) right after the atomic store — the
+    next *load* of that entry then trips quarantine + refit.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    _MODEL_STORE_COUNTS[digest] += 1
+    return plan.spec_for(
+        digest, _MODEL_STORE_COUNTS[digest], kinds=("corrupt-model-entry",)
+    )

@@ -205,6 +205,7 @@ def run_tasks_resilient(
     report: Optional[RunReport] = None,
     on_result: Optional[Callable[[int, T], None]] = None,
     stage: str = "exec",
+    collect_errors: bool = False,
 ) -> Tuple[List[T], RunReport]:
     """Run ``fn(*task)`` for every task with retries/timeouts/fallback.
 
@@ -220,11 +221,18 @@ def run_tasks_resilient(
         Called in the parent as ``on_result(index, result)`` the moment
         a task's final result lands (out of submission order) — the
         checkpoint hook: callers persist each unit as it completes.
+    collect_errors:
+        When true, a task's *final* failure (retryable attempts
+        exhausted, or a deterministic error) lands in its results slot
+        as the exception object instead of aborting the whole run — the
+        serving tier's per-query fault isolation: one broken unit must
+        not poison its batch neighbors.
 
     Returns ``(results, report)`` with results in submission order.
     Deterministic failures propagate immediately; retryable failures
     propagate once attempts are exhausted, as taxonomy errors carrying
-    the task key and attempt count.
+    the task key and attempt count (or, with ``collect_errors``, are
+    returned in place).
     """
     config = config or ResilienceConfig()
     report = report if report is not None else RunReport()
@@ -246,8 +254,16 @@ def run_tasks_resilient(
         if on_result is not None:
             on_result(i, value)
 
+    def fail(i: int, exc: BaseException) -> None:
+        """A task's final failure: collect it in place or propagate."""
+        if collect_errors and isinstance(exc, Exception):
+            report.record(f"collected failure in {key_list[i]}: {exc}")
+            finish(i, exc)  # type: ignore[arg-type]
+            return
+        raise exc
+
     def requeue(i: int, attempt: int, exc: BaseException, *, sleep: bool) -> None:
-        """Schedule a retry of task ``i`` or raise if attempts are spent."""
+        """Schedule a retry of task ``i`` or fail it if attempts are spent."""
         key = key_list[i]
         if attempt > config.max_retries:
             if isinstance(exc, (TaskTimeoutError, TaskCrashError)):
@@ -256,10 +272,12 @@ def run_tasks_resilient(
                 message = getattr(exc, "base_message", None) or (
                     str(exc.args[0]) if exc.args else "task failed"
                 )
-                raise type(exc)(
+                fail(i, type(exc)(
                     message, stage=stage, task_key=key, attempts=attempt
-                )
-            raise exc
+                ))
+                return
+            fail(i, exc)
+            return
         report.bump("retries")
         if sleep:
             time.sleep(backoff_s(key, attempt, config))
@@ -284,6 +302,9 @@ def run_tasks_resilient(
                 report.bump("crashes")
                 report.record(f"crash in {key} (attempt {attempt}): {exc}")
                 requeue(i, attempt, exc, sleep=True)
+            except Exception as exc:
+                # deterministic failure: retrying would replay it
+                fail(i, exc)
             else:
                 finish(i, value)
 
@@ -332,6 +353,9 @@ def run_tasks_resilient(
                         f"transient error in {key} (attempt {attempt}): {exc}"
                     )
                     requeue(i, attempt, exc, sleep=True)
+                except Exception as exc:
+                    # deterministic failure: retrying would replay it
+                    fail(i, exc)
                 else:
                     finish(i, value)
             if not_done:

@@ -92,6 +92,7 @@ def build_manifest(
     guard=None,
     tracer=None,
     profile_cache=None,
+    serve=None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest document for one run.
@@ -105,7 +106,11 @@ def build_manifest(
     reuse-engine :class:`~repro.cache.reuse.ProfileCache` (or its
     stats): per-tier hit/miss/eviction counts land under
     ``"profile_cache"`` so reuse/serve capacity can be tuned from the
-    manifest alone.
+    manifest alone.  ``serve`` accepts the serving-tier
+    :class:`~repro.serve.resilience.ServeReport` (or its dict view):
+    the per-run fault tallies land under ``"serve"`` so the manifest,
+    the metrics registry, and ``serve_summary.json`` can be held to the
+    same numbers.
     """
     doc: dict = {
         "schema_version": SCHEMA_VERSION,
@@ -142,6 +147,8 @@ def build_manifest(
         doc["profile_cache"] = stats.to_dict()
     if tracer is not None:
         doc["stage_durations"] = tracer.stage_durations()
+    if serve is not None:
+        doc["serve"] = serve.to_dict() if hasattr(serve, "to_dict") else serve
     if extra:
         doc.update(extra)
     return doc

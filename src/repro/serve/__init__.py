@@ -14,10 +14,14 @@ a service:
 - :mod:`repro.serve.engine` — the asyncio front-end: admission control,
   per-tenant fair queueing, batched execution;
 - :mod:`repro.serve.loadgen` — replayable keyed-RNG synthetic load for
-  benchmarking the above.
+  benchmarking the above;
+- :mod:`repro.serve.resilience` — the serving fault discipline:
+  per-model circuit breakers, the :class:`ServeReport` recovery tally,
+  and the worker-offload replay task.
 
 See DESIGN.md §7.9 for the keying, batching-window, and fairness
-semantics, and ``repro serve --help`` for the CLI.
+semantics, §7.10 for the serve fault model, and ``repro serve --help``
+for the CLI.
 """
 
 from repro.serve.batcher import BatcherStats, MicroBatcher
@@ -41,10 +45,12 @@ from repro.serve.registry import (
     RegistryStats,
     fit_model,
 )
+from repro.serve.resilience import CircuitBreaker, ServeReport
 
 __all__ = [
     "Answer",
     "BatcherStats",
+    "CircuitBreaker",
     "EngineStats",
     "FittedModel",
     "LoadReport",
@@ -56,6 +62,7 @@ __all__ = [
     "QueryEngine",
     "RegistryStats",
     "ServeConfig",
+    "ServeReport",
     "fit_model",
     "run_load",
     "synthetic_queries",

@@ -15,18 +15,27 @@ keys are never co-batched) and flushed as one batch when either
 Each submitter gets back a future resolved with its own slice of the
 batch result.  Cancelled futures are dropped at flush time — a caller
 abandoning its query neither poisons nor delays the rest of the batch.
-The batch executor runs synchronously on the event loop: it is a numpy
-array pass over already-fitted matrices (microseconds to low
-milliseconds), and keeping it on-loop preserves the bit-identity
-contract — no cross-thread numpy state, one deterministic execution
-per batch.
+Items may carry an *expiry* (absolute ``perf_counter`` seconds): an
+item whose expiry has passed by flush time is answered with the
+engine-supplied ``on_expire`` exception instead of being computed —
+the batch-flush boundary of the per-query deadline contract.
+
+``run_batch`` may return either a sequence of results (executed
+synchronously on the event loop — the cheap ``predict_many`` path) or
+a coroutine (scheduled as a task — the worker-offload path for
+runtime replay, which must never block the loop).  Either way, a
+per-item result that is itself an exception instance is delivered to
+that item's future as a failure, so one poisoned query inside an
+otherwise healthy batch fails alone.
 """
 
 from __future__ import annotations
 
 import asyncio
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence
+from functools import partial
+from time import perf_counter
+from typing import Any, Callable, Dict, Hashable, List, Optional, Tuple
 
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
@@ -43,6 +52,7 @@ class BatcherStats:
     deadline_flushes: int = 0
     drain_flushes: int = 0
     cancelled: int = 0
+    expired: int = 0
 
     def bump(self, name: str, n: int = 1) -> None:
         setattr(self, name, getattr(self, name) + n)
@@ -56,6 +66,7 @@ class BatcherStats:
             "deadline_flushes": self.deadline_flushes,
             "drain_flushes": self.drain_flushes,
             "cancelled": self.cancelled,
+            "expired": self.expired,
             "mean_batch": (
                 self.queries / self.batches if self.batches else 0.0
             ),
@@ -66,6 +77,7 @@ class BatcherStats:
 class _PendingBatch:
     items: List[Any] = field(default_factory=list)
     futures: List[asyncio.Future] = field(default_factory=list)
+    expiries: List[Optional[float]] = field(default_factory=list)
     timer: Optional[asyncio.TimerHandle] = None
 
 
@@ -73,17 +85,22 @@ class MicroBatcher:
     """Group submissions by key; flush on size or deadline.
 
     ``run_batch(key, items)`` executes one coalesced batch and must
-    return one result per item, in order.  It is called on the event
-    loop; exceptions it raises are fanned out to every live submitter
-    of that batch.
+    produce one result per item, in order (a per-item exception
+    instance counts as that item's failed result).  A sequence return
+    runs synchronously on the event loop; a coroutine return is
+    scheduled as a task and fans out on completion.  Exceptions raised
+    by either form are fanned out to every live submitter of that
+    batch.  ``on_expire(item)`` builds the exception delivered to items
+    whose expiry passed before the batch ran.
     """
 
     def __init__(
         self,
-        run_batch: Callable[[Hashable, List[Any]], Sequence[Any]],
+        run_batch: Callable[[Hashable, List[Any]], Any],
         *,
         max_batch: int = 64,
         window_s: float = 0.002,
+        on_expire: Optional[Callable[[Any], BaseException]] = None,
     ):
         if max_batch < 1:
             raise ServeError(
@@ -97,14 +114,21 @@ class MicroBatcher:
         self._run_batch = run_batch
         self.max_batch = max_batch
         self.window_s = window_s
+        self._on_expire = on_expire
         self._pending: Dict[Hashable, _PendingBatch] = {}
+        self._tasks: set = set()
         self.stats = BatcherStats()
 
     @property
     def pending_keys(self) -> List[Hashable]:
         return list(self._pending)
 
-    def enqueue(self, key: Hashable, item: Any) -> asyncio.Future:
+    def enqueue(
+        self,
+        key: Hashable,
+        item: Any,
+        expiry: Optional[float] = None,
+    ) -> asyncio.Future:
         """Enqueue one query; return the future that resolves with its
         answer.
 
@@ -112,6 +136,8 @@ class MicroBatcher:
         tight loop, and a plain future keeps the per-query hot path free
         of task creation (a size flush may run the batch before this
         returns, in which case the future is already resolved).
+        ``expiry`` is an absolute ``perf_counter`` deadline; past-due
+        items are expired (not computed) at flush time.
         """
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
@@ -124,19 +150,29 @@ class MicroBatcher:
             )
         batch.items.append(item)
         batch.futures.append(fut)
+        batch.expiries.append(expiry)
         self.stats.bump("queries")
         if len(batch.items) >= self.max_batch:
             self._flush(key, "size_flushes")
         return fut
 
-    async def submit(self, key: Hashable, item: Any) -> Any:
+    async def submit(
+        self, key: Hashable, item: Any, expiry: Optional[float] = None
+    ) -> Any:
         """Enqueue one query under its compatibility key; await its answer."""
-        return await self.enqueue(key, item)
+        return await self.enqueue(key, item, expiry)
 
     def flush_all(self) -> None:
         """Flush every open batch immediately (drain/shutdown path)."""
         for key in list(self._pending):
             self._flush(key, "drain_flushes")
+
+    # -- flush machinery ------------------------------------------------
+
+    def _expire_exc(self, item: Any) -> BaseException:
+        if self._on_expire is not None:
+            return self._on_expire(item)
+        return ServeError("query expired before its batch ran", stage="serve")
 
     def _flush(self, key: Hashable, reason: str) -> None:
         batch = self._pending.pop(key, None)
@@ -145,37 +181,87 @@ class MicroBatcher:
         if batch.timer is not None:
             batch.timer.cancel()
         live = [
-            (item, fut)
-            for item, fut in zip(batch.items, batch.futures)
+            (item, fut, expiry)
+            for item, fut, expiry in zip(
+                batch.items, batch.futures, batch.expiries
+            )
             if not fut.done()
         ]
         dropped = len(batch.items) - len(live)
         if dropped:
             self.stats.bump("cancelled", dropped)
-        if not live:
+        now = perf_counter()
+        fresh: List[Tuple[Any, asyncio.Future]] = []
+        for item, fut, expiry in live:
+            if expiry is not None and now >= expiry:
+                self.stats.bump("expired")
+                fut.set_exception(self._expire_exc(item))
+            else:
+                fresh.append((item, fut))
+        if not fresh:
             return
         self.stats.bump("batches")
         self.stats.bump(reason)
-        REGISTRY.observe("serve.batch_size", float(len(live)))
-        items = [item for item, _ in live]
+        REGISTRY.observe("serve.batch_size", float(len(fresh)))
+        items = [item for item, _ in fresh]
         try:
-            with span("serve.batch", key=str(key), size=len(live)):
+            with span("serve.batch", key=str(key), size=len(items)):
                 results = self._run_batch(key, items)
         except Exception as exc:  # noqa: BLE001 - fan the failure out
-            for _, fut in live:
-                if not fut.done():
-                    fut.set_exception(exc)
+            self._fail(fresh, exc)
             return
-        if len(results) != len(items):
-            exc = ServeError(
-                f"batch executor returned {len(results)} results for "
-                f"{len(items)} queries",
-                stage="serve",
+        if asyncio.iscoroutine(results):
+            # worker-offload path: the batch runs off-loop; completion
+            # fans out from the task's done callback
+            task = asyncio.get_running_loop().create_task(
+                results, name=f"serve-batch-{key}"
             )
-            for _, fut in live:
-                if not fut.done():
-                    fut.set_exception(exc)
+            self._tasks.add(task)
+            task.add_done_callback(partial(self._complete_async, fresh))
             return
-        for (_, fut), result in zip(live, results):
+        self._complete(fresh, results)
+
+    def _fail(
+        self, fresh: List[Tuple[Any, asyncio.Future]], exc: BaseException
+    ) -> None:
+        for _, fut in fresh:
             if not fut.done():
+                fut.set_exception(exc)
+
+    def _complete_async(
+        self,
+        fresh: List[Tuple[Any, asyncio.Future]],
+        task: asyncio.Task,
+    ) -> None:
+        self._tasks.discard(task)
+        if task.cancelled():
+            for _, fut in fresh:
+                if not fut.done():
+                    fut.cancel()
+            return
+        exc = task.exception()
+        if exc is not None:
+            self._fail(fresh, exc)
+            return
+        self._complete(fresh, task.result())
+
+    def _complete(
+        self, fresh: List[Tuple[Any, asyncio.Future]], results: Any
+    ) -> None:
+        if len(results) != len(fresh):
+            self._fail(
+                fresh,
+                ServeError(
+                    f"batch executor returned {len(results)} results for "
+                    f"{len(fresh)} queries",
+                    stage="serve",
+                ),
+            )
+            return
+        for (_, fut), result in zip(fresh, results):
+            if fut.done():
+                continue
+            if isinstance(result, BaseException):
+                fut.set_exception(result)
+            else:
                 fut.set_result(result)

@@ -29,6 +29,26 @@ target trace and replays it through
 :func:`~repro.pipeline.predict.predict_runtime`; synthesis+prediction
 amortize per *distinct* target in the batch, the replay itself is
 per-query work.
+
+Fault discipline (see :mod:`repro.serve.resilience`):
+
+- a query may carry ``deadline_ms``; an expired query is answered with
+  :class:`~repro.util.errors.DeadlineExceededError` at whichever of
+  the three boundaries — admission wait, dispatch, batch flush —
+  catches it first, and is never computed nor left hanging;
+- each model gets a :class:`~repro.serve.resilience.CircuitBreaker`:
+  after ``breaker_threshold`` consecutive batch failures its queries
+  are shed fast with :class:`~repro.util.errors.CircuitOpenError`
+  until a half-open probe succeeds;
+- when ``hardened`` (the default), ``kind="runtime"`` replay — and any
+  batch with at least ``offload_batch_size`` queries — runs off the
+  event loop: prediction in a worker thread, replay through
+  :func:`~repro.exec.resilience.run_tasks_resilient` so crashes,
+  hangs, and retries get the batch pipeline's recovery treatment
+  while the loop keeps serving other tenants;
+- every recovery event lands in the engine's
+  :class:`~repro.serve.resilience.ServeReport` (mirrored to
+  ``serve.resilience.*`` metrics and the run manifest).
 """
 
 from __future__ import annotations
@@ -38,14 +58,28 @@ from collections import deque
 from dataclasses import dataclass, replace
 from functools import partial
 from time import perf_counter
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Any, Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.exec import faults
+from repro.exec.resilience import run_tasks_resilient
 from repro.obs.metrics import REGISTRY, _quantile
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import FittedModel, ModelRegistry
-from repro.util.errors import AdmissionError, ServeError
+from repro.serve.resilience import (
+    BREAKER_OPEN_S,
+    BREAKER_THRESHOLD,
+    CircuitBreaker,
+    ServeReport,
+    replay_runtime_task,
+)
+from repro.util.errors import (
+    AdmissionError,
+    CircuitOpenError,
+    DeadlineExceededError,
+    ServeError,
+)
 
 ADMISSION_POLICIES = ("wait", "reject")
 QUERY_KINDS = ("features", "runtime")
@@ -58,12 +92,16 @@ class Query:
     ``model`` is a registry digest (``None`` = the engine's default
     model).  ``target`` is the core count to synthesize.  Queries with
     the same (model, kind) are batchable; anything else never co-batches.
+    ``deadline_ms`` bounds admission-to-answer wall clock: past it the
+    engine answers :class:`~repro.util.errors.DeadlineExceededError`
+    instead of computing.
     """
 
     target: int
     model: Optional[str] = None
     tenant: str = "default"
     kind: str = "features"
+    deadline_ms: Optional[float] = None
 
     def __post_init__(self):
         if int(self.target) <= 0:
@@ -74,6 +112,11 @@ class Query:
         if self.kind not in QUERY_KINDS:
             raise ServeError(
                 f"unknown query kind {self.kind!r}; known: {QUERY_KINDS}",
+                stage="serve",
+            )
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ServeError(
+                f"query deadline must be positive, got {self.deadline_ms}",
                 stage="serve",
             )
 
@@ -96,13 +139,26 @@ class Answer:
 
 @dataclass
 class ServeConfig:
-    """Engine knobs: batching window, queue bounds, admission policy."""
+    """Engine knobs: batching window, queue bounds, admission policy.
+
+    ``hardened`` is the resilience master switch (the overhead
+    benchmark's baseline toggle): off disables breakers and worker
+    offload, leaving PR 7's bare engine.  ``runtime_workers=0`` replays
+    runtime queries serially *in the offload thread* — the loop is
+    still never blocked, and crash faults are retried in place; >0 uses
+    a process pool with the full kill/rebuild ladder.
+    """
 
     max_batch: int = 64
     window_s: float = 0.002
     queue_depth: int = 256
     admission: str = "wait"
     rate_trust_factor: float = 2.0
+    hardened: bool = True
+    breaker_threshold: int = BREAKER_THRESHOLD
+    breaker_open_s: float = BREAKER_OPEN_S
+    runtime_workers: int = 0
+    offload_batch_size: int = 256
 
     def __post_init__(self):
         if self.admission not in ADMISSION_POLICIES:
@@ -114,6 +170,29 @@ class ServeConfig:
         if self.queue_depth < 1:
             raise ServeError(
                 f"queue depth must be >= 1, got {self.queue_depth}",
+                stage="serve",
+            )
+        if self.breaker_threshold < 1:
+            raise ServeError(
+                f"breaker threshold must be >= 1, got "
+                f"{self.breaker_threshold}",
+                stage="serve",
+            )
+        if not self.breaker_open_s > 0:
+            raise ServeError(
+                f"breaker open window must be positive, got "
+                f"{self.breaker_open_s}",
+                stage="serve",
+            )
+        if self.runtime_workers < 0:
+            raise ServeError(
+                f"runtime workers must be >= 0, got {self.runtime_workers}",
+                stage="serve",
+            )
+        if self.offload_batch_size < 1:
+            raise ServeError(
+                f"offload batch size must be >= 1, got "
+                f"{self.offload_batch_size}",
                 stage="serve",
             )
         # max_batch / window_s are validated by MicroBatcher
@@ -157,6 +236,8 @@ class QueryEngine:
     once the engine runs.  :meth:`stop` drains by default: queued and
     in-flight queries are answered (open batches are deadline-flushed
     immediately) before the dispatcher shuts down.
+    :meth:`stop_admission` closes the front door first — the graceful
+    drain sequence the CLI runs on SIGTERM/SIGINT.
     """
 
     def __init__(
@@ -173,8 +254,11 @@ class QueryEngine:
             self._run_batch,
             max_batch=self.config.max_batch,
             window_s=self.config.window_s,
+            on_expire=self._expire_in_batch,
         )
         self.stats = EngineStats()
+        self.report = ServeReport()
+        self.draining = False
         #: tenant name per dispatch, in dispatch order — the fairness
         #: tests assert round-robin interleaving on this
         self.dispatch_log: List[str] = []
@@ -182,6 +266,7 @@ class QueryEngine:
         self._space: Dict[str, asyncio.Event] = {}
         self._latencies: List[float] = []
         self._runtime_ctx: Dict[str, tuple] = {}
+        self._breakers: Dict[str, CircuitBreaker] = {}
         self._inflight: set = set()
         self._wake: Optional[asyncio.Event] = None
         self._dispatcher: Optional[asyncio.Task] = None
@@ -204,6 +289,14 @@ class QueryEngine:
             self._dispatch_loop(), name="serve-dispatcher"
         )
 
+    def stop_admission(self) -> None:
+        """Close the front door: new queries fail fast with AdmissionError.
+
+        In-queue and in-flight queries are unaffected; pair with
+        :meth:`stop` to drain them (the SIGTERM sequence).
+        """
+        self.draining = True
+
     async def stop(self, *, drain: bool = True) -> None:
         if drain:
             while any(self._queues.values()) or self._inflight:
@@ -211,9 +304,13 @@ class QueryEngine:
                     self._wake.set()
                 await asyncio.sleep(0)
                 if not any(self._queues.values()):
-                    # every remaining query is parked in an open batch —
-                    # don't wait out the deadline timer during shutdown
+                    # every remaining query is parked in an open batch or
+                    # an offloaded execution — flush batches immediately
+                    # and park until the in-flight answers land
                     self.batcher.flush_all()
+                    pending = [f for f in self._inflight if not f.done()]
+                    if pending:
+                        await asyncio.wait(pending, timeout=0.1)
         if self._dispatcher is not None:
             self._dispatcher.cancel()
             try:
@@ -224,8 +321,42 @@ class QueryEngine:
 
     # -- query path -----------------------------------------------------
 
+    def _breaker(self, digest: str) -> Optional[CircuitBreaker]:
+        if not self.config.hardened:
+            return None
+        breaker = self._breakers.get(digest)
+        if breaker is None:
+            breaker = CircuitBreaker(
+                digest,
+                threshold=self.config.breaker_threshold,
+                open_s=self.config.breaker_open_s,
+                report=self.report,
+            )
+            self._breakers[digest] = breaker
+        return breaker
+
+    def _deadline_error(self, q: Query, boundary: str) -> DeadlineExceededError:
+        return DeadlineExceededError(
+            f"deadline of {q.deadline_ms:g}ms expired at {boundary}",
+            stage="serve",
+            task_key=f"serve:{q.tenant}",
+        )
+
+    def _expire_in_batch(self, q: Query) -> DeadlineExceededError:
+        """Batcher callback: a parked query's deadline passed before its
+        batch ran (the batch-flush boundary)."""
+        self.report.bump("deadline_flush")
+        return self._deadline_error(q, "batch flush")
+
     async def query(self, q: Query) -> Answer:
         """Submit one query; resolves with its :class:`Answer`."""
+        if self.draining:
+            self.stats.bump("rejected")
+            raise AdmissionError(
+                "engine is draining; admission is closed",
+                stage="serve",
+                task_key=f"serve:{q.tenant}",
+            )
         digest = q.model or self.default_model
         if digest is None:
             raise ServeError(
@@ -241,7 +372,19 @@ class QueryEngine:
         if q.model != digest:
             q = replace(q, model=digest)
         t0 = perf_counter()
+        expiry = (
+            t0 + q.deadline_ms / 1000.0 if q.deadline_ms is not None else None
+        )
         self.stats.bump("queries")
+        breaker = self._breaker(digest)
+        if breaker is not None and not breaker.admit(t0):
+            self.report.bump("breaker_rejected")
+            self.stats.bump("failed")
+            raise CircuitOpenError(
+                f"model {digest[:12]} breaker is open; query shed",
+                stage="serve",
+                task_key=f"serve:{q.tenant}",
+            )
         dq = self._queues.setdefault(q.tenant, deque())
         if len(dq) >= self.config.queue_depth:
             if self.config.admission == "reject":
@@ -256,10 +399,23 @@ class QueryEngine:
                 self.stats.bump("backpressure_waits")
                 event = self._space.setdefault(q.tenant, asyncio.Event())
                 event.clear()
-                await event.wait()
+                if expiry is None:
+                    await event.wait()
+                    continue
+                remaining = expiry - perf_counter()
+                if remaining > 0:
+                    try:
+                        await asyncio.wait_for(event.wait(), remaining)
+                        continue
+                    except asyncio.TimeoutError:
+                        pass
+                self.report.bump("deadline_admission")
+                self.stats.bump("failed")
+                raise self._deadline_error(q, "admission wait") from None
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
-        dq.append((q, fut, t0))
+        dq.append((q, fut, t0, expiry))
+        REGISTRY.gauge(f"serve.queue_depth.{q.tenant}").set(float(len(dq)))
         if self._wake is None:
             self._wake = asyncio.Event()
         self._wake.set()
@@ -281,18 +437,43 @@ class QueryEngine:
                     if not dq:
                         continue
                     progress = True
-                    q, fut, t0 = dq.popleft()
+                    q, fut, t0, expiry = dq.popleft()
+                    REGISTRY.gauge(f"serve.queue_depth.{tenant}").set(
+                        float(len(dq))
+                    )
                     event = self._space.get(tenant)
                     if event is not None:
                         event.set()
                     self.dispatch_log.append(tenant)
-                    REGISTRY.observe(
-                        "serve.queue_wait_s", perf_counter() - t0
-                    )
+                    now = perf_counter()
+                    REGISTRY.observe("serve.queue_wait_s", now - t0)
+                    if expiry is not None and now >= expiry:
+                        # the query aged out in its tenant queue
+                        self.report.bump("deadline_dispatch")
+                        self.stats.bump("failed")
+                        if not fut.done():
+                            fut.set_exception(
+                                self._deadline_error(q, "dispatch")
+                            )
+                        continue
+                    breaker = self._breakers.get(q.model)
+                    if breaker is not None and not breaker.allow_dispatch(now):
+                        self.report.bump("breaker_rejected")
+                        self.stats.bump("failed")
+                        if not fut.done():
+                            fut.set_exception(
+                                CircuitOpenError(
+                                    f"model {q.model[:12]} breaker is open; "
+                                    f"query shed",
+                                    stage="serve",
+                                    task_key=f"serve:{tenant}",
+                                )
+                            )
+                        continue
                     # no task per query: the batcher future's done
                     # callback finishes the answer — one object on the
                     # hot path instead of a scheduled coroutine
-                    bfut = self.batcher.enqueue((q.model, q.kind), q)
+                    bfut = self.batcher.enqueue((q.model, q.kind), q, expiry)
                     self._inflight.add(bfut)
                     bfut.add_done_callback(
                         partial(self._finish_one, q, fut, t0)
@@ -354,16 +535,62 @@ class QueryEngine:
             self._runtime_ctx[model.digest] = ctx
         return ctx
 
-    def _run_batch(
-        self, key: Tuple[str, str], queries: List[Query]
-    ) -> List[dict]:
+    @staticmethod
+    def _batch_key(digest: str, kind: str) -> str:
+        return f"serve:batch:{digest[:12]}:{kind}"
+
+    def _run_batch(self, key: Tuple[str, str], queries: List[Query]):
         digest, kind = key
+        if self.config.hardened and (
+            kind == "runtime" or len(queries) >= self.config.offload_batch_size
+        ):
+            # coroutine: the batcher schedules it as a task and the
+            # heavy work runs off-loop
+            return self._run_batch_offloaded(digest, kind, queries)
+        breaker = self._breakers.get(digest)
+        try:
+            spec = faults.apply_serve_fault(self._batch_key(digest, kind))
+            if spec is not None and spec.kind == "slow-predict":
+                self.report.bump("slow_predicts")
+            results = self._execute_sync(digest, kind, queries)
+        except Exception:
+            self.report.bump("batch_failures")
+            if breaker is not None:
+                breaker.record_failure(perf_counter())
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return results
+
+    async def _run_batch_offloaded(
+        self, digest: str, kind: str, queries: List[Query]
+    ) -> List[Any]:
+        breaker = self._breakers.get(digest)
+        self.report.bump("offloads")
+        try:
+            results = await self._execute_offloaded(digest, kind, queries)
+        except Exception:
+            self.report.bump("batch_failures")
+            if breaker is not None:
+                breaker.record_failure(perf_counter())
+            raise
+        if breaker is not None:
+            # a per-item failure (one target's replay died for good)
+            # counts against the model without failing its batch mates
+            if any(isinstance(r, BaseException) for r in results):
+                breaker.record_failure(perf_counter())
+            else:
+                breaker.record_success()
+        return results
+
+    def _execute_sync(
+        self, digest: str, kind: str, queries: List[Query]
+    ) -> List[dict]:
         model = self._model(digest)
         targets = sorted({int(q.target) for q in queries})
         sweep = model.predict(
             targets, rate_trust_factor=self.config.rate_trust_factor
         )
-        n = len(queries)
         runtimes: Dict[int, float] = {}
         if kind == "runtime":
             from repro.pipeline.predict import predict_runtime
@@ -374,6 +601,59 @@ class QueryEngine:
                 runtimes[target] = predict_runtime(
                     app, target, trace, machine
                 ).runtime_s
+        matrices = self._matrices(sweep, targets)
+        return self._payloads(queries, matrices, runtimes, {})
+
+    async def _execute_offloaded(
+        self, digest: str, kind: str, queries: List[Query]
+    ) -> List[Any]:
+        loop = asyncio.get_running_loop()
+        model = self._model(digest)
+        targets = sorted({int(q.target) for q in queries})
+        batch_key = self._batch_key(digest, kind)
+        rtf = self.config.rate_trust_factor
+
+        def _predict():
+            # fault hook runs off-loop with the prediction so an
+            # injected slow-predict stalls this batch, not the server
+            spec = faults.apply_serve_fault(batch_key)
+            return spec, model.predict(targets, rate_trust_factor=rtf)
+
+        spec, sweep = await loop.run_in_executor(None, _predict)
+        if spec is not None and spec.kind == "slow-predict":
+            self.report.bump("slow_predicts")
+        runtimes: Dict[int, float] = {}
+        failures: Dict[int, BaseException] = {}
+        if kind == "runtime":
+            app, machine = self._runtime_context(model)
+            keys = [f"serve:replay:{digest[:12]}:{t}" for t in targets]
+
+            def _replay():
+                tasks = [
+                    (app, machine, t, model.synthesize(t, prediction=sweep))
+                    for t in targets
+                ]
+                return run_tasks_resilient(
+                    replay_runtime_task,
+                    tasks,
+                    keys=keys,
+                    workers=self.config.runtime_workers,
+                    report=self.report.worker,
+                    stage="serve",
+                    collect_errors=True,
+                )
+
+            values, _ = await loop.run_in_executor(None, _replay)
+            for target, value in zip(targets, values):
+                if isinstance(value, BaseException):
+                    failures[target] = value
+                else:
+                    runtimes[target] = float(value)
+        matrices = self._matrices(sweep, targets)
+        return self._payloads(queries, matrices, runtimes, failures)
+
+    @staticmethod
+    def _matrices(sweep, targets: List[int]) -> Dict[int, np.ndarray]:
         # one detached read-only matrix per *distinct* target, shared by
         # every query for it: copying per query would dominate the
         # amortized batch cost, and a view would pin the whole sweep
@@ -382,14 +662,30 @@ class QueryEngine:
             m = sweep.matrix_for(target).copy()
             m.setflags(write=False)
             matrices[target] = m
-        return [
-            {
-                "values": matrices[int(q.target)],
-                "runtime_s": runtimes.get(int(q.target)),
-                "batch_size": n,
-            }
-            for q in queries
-        ]
+        return matrices
+
+    @staticmethod
+    def _payloads(
+        queries: List[Query],
+        matrices: Dict[int, np.ndarray],
+        runtimes: Dict[int, float],
+        failures: Dict[int, BaseException],
+    ) -> List[Any]:
+        n = len(queries)
+        out: List[Any] = []
+        for q in queries:
+            target = int(q.target)
+            if target in failures:
+                out.append(failures[target])
+                continue
+            out.append(
+                {
+                    "values": matrices[target],
+                    "runtime_s": runtimes.get(target),
+                    "batch_size": n,
+                }
+            )
+        return out
 
     # -- reporting ------------------------------------------------------
 
@@ -408,4 +704,5 @@ class QueryEngine:
             "batcher": self.batcher.stats.to_dict(),
             "registry": self.registry.stats.to_dict(),
             "latency": self.latency_summary(),
+            "resilience": self.report.to_dict(),
         }

@@ -20,9 +20,9 @@ the ``serve.qps`` / ``serve.p95_ms`` gauges.
 from __future__ import annotations
 
 import asyncio
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from time import perf_counter
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -43,6 +43,12 @@ class LoadSpec:
     #: Zipf-ish skew exponent over the target list (0 = uniform)
     skew: float = 1.0
     name: str = "default"
+    #: per-query deadline stamped on every generated query (None = none)
+    deadline_ms: Optional[float] = None
+    #: >1 splits the trace into that many sequential arrival waves
+    #: (chaos runs need quiet gaps for breakers to half-open and close)
+    waves: int = 1
+    wave_interval_s: float = 0.0
 
     def __post_init__(self):
         if self.n_queries < 1:
@@ -53,6 +59,20 @@ class LoadSpec:
         if not self.targets or not self.tenants:
             raise ServeError(
                 "load spec needs at least one target and one tenant",
+                stage="serve",
+            )
+        if self.deadline_ms is not None and not self.deadline_ms > 0:
+            raise ServeError(
+                f"load deadline must be positive, got {self.deadline_ms}",
+                stage="serve",
+            )
+        if self.waves < 1:
+            raise ServeError(
+                f"waves must be >= 1, got {self.waves}", stage="serve"
+            )
+        if self.wave_interval_s < 0:
+            raise ServeError(
+                f"wave interval must be >= 0, got {self.wave_interval_s}",
                 stage="serve",
             )
 
@@ -75,6 +95,7 @@ def synthetic_queries(
             tenant=spec.tenants[u],
             kind=spec.kind,
             model=model,
+            deadline_ms=spec.deadline_ms,
         )
         for t, u in zip(target_idx, tenant_idx)
     ]
@@ -91,6 +112,10 @@ class LoadReport:
     p95_ms: float
     mean_batch: float
     rejected: int
+    #: typed non-admission failures (deadline, breaker, serve errors) —
+    #: under a fault plan these are results, not load-test bugs
+    errors: int = 0
+    error_kinds: Dict[str, int] = field(default_factory=dict)
 
     def to_dict(self) -> dict:
         return {
@@ -101,41 +126,69 @@ class LoadReport:
             "p95_ms": round(self.p95_ms, 6),
             "mean_batch": round(self.mean_batch, 3),
             "rejected": self.rejected,
+            "errors": self.errors,
+            "error_kinds": dict(self.error_kinds),
         }
 
 
 async def run_load(
-    engine: QueryEngine, queries: Sequence[Query]
+    engine: QueryEngine, queries: Sequence[Query], *, spec: Optional[LoadSpec] = None
 ) -> Tuple[LoadReport, List[Optional[Answer]]]:
     """Fire a query trace at a started engine; measure the service rate.
 
     Every query runs as its own coroutine (the all-at-once arrival that
-    stresses batching and fairness hardest).  Admission rejections are
-    counted, not raised — a load test observing its own backpressure is
-    a result, not a failure.  Returns the report plus the per-query
-    answers (``None`` where rejected) in submission order.
+    stresses batching and fairness hardest); with ``spec.waves > 1`` the
+    trace is split into that many sequential arrival waves separated by
+    ``spec.wave_interval_s`` of quiet — the cadence that lets an opened
+    circuit breaker reach its half-open probe and close again under
+    observation.  Admission rejections and typed serving errors
+    (:class:`~repro.util.errors.ReproError`: deadline expiries, breaker
+    sheds, injected faults) are counted, not raised — a load test
+    observing the failure machinery it provoked is a result, not a
+    failure.  Anything untyped still raises: that is a bug, not load.
+    Returns the report plus the per-query answers (``None`` where
+    rejected or failed) in submission order.
     """
     if not queries:
         raise ServeError("no queries to run", stage="serve")
+    waves = spec.waves if spec is not None else 1
+    interval = spec.wave_interval_s if spec is not None else 0.0
+    per_wave = (len(queries) + waves - 1) // waves
     t0 = perf_counter()
-    outcomes = await asyncio.gather(
-        *(engine.query(q) for q in queries), return_exceptions=True
-    )
+    outcomes: List[object] = []
+    for w in range(waves):
+        wave = queries[w * per_wave : (w + 1) * per_wave]
+        if not wave:
+            break
+        if w and interval:
+            await asyncio.sleep(interval)
+        outcomes.extend(
+            await asyncio.gather(
+                *(engine.query(q) for q in wave), return_exceptions=True
+            )
+        )
     wall = perf_counter() - t0
     answers: List[Optional[Answer]] = []
     latencies: List[float] = []
     batch_sizes: List[int] = []
     rejected = 0
+    errors = 0
+    error_kinds: Dict[str, int] = {}
     for outcome in outcomes:
         if isinstance(outcome, Answer):
             answers.append(outcome)
             latencies.append(outcome.latency_s)
             batch_sizes.append(outcome.batch_size)
         elif isinstance(outcome, BaseException):
-            from repro.util.errors import AdmissionError
+            from repro.util.errors import AdmissionError, ReproError
 
             if isinstance(outcome, AdmissionError):
                 rejected += 1
+                answers.append(None)
+            elif isinstance(outcome, ReproError):
+                errors += 1
+                kind = type(outcome).__name__
+                error_kinds[kind] = error_kinds.get(kind, 0) + 1
                 answers.append(None)
             else:
                 raise outcome
@@ -152,6 +205,8 @@ async def run_load(
             float(np.mean(batch_sizes)) if batch_sizes else 0.0
         ),
         rejected=rejected,
+        errors=errors,
+        error_kinds=error_kinds,
     )
     REGISTRY.gauge("serve.qps").set(report.qps)
     REGISTRY.gauge("serve.p95_ms").set(report.p95_ms)

@@ -23,6 +23,24 @@ leaves a half-model loadable.
 In front of the disk tier sits a small in-memory LRU (the
 :class:`~repro.cache.reuse.ProfileCache` idiom), with per-tier
 hit/miss/eviction counters exported as ``serve.registry.*`` metrics.
+
+The disk tier is *self-healing and bounded*:
+
+- every entry carries a ``files`` manifest (byte size + sha256 per
+  artifact); a load that fails verification — or fails to parse at all
+  — moves the whole entry to ``<root>/quarantine/`` (the PR-3 sigcache
+  discipline) and reports a **miss**, so ``get_or_fit`` transparently
+  refits.  Corruption never surfaces to serving code as an exception;
+- an optional **size budget** (``budget_mb``) garbage-collects
+  least-recently-used entries after each store: access time lives in a
+  per-entry ``atime`` sidecar (touched on every disk hit, so GC order
+  is usage order, not store order), deletes are rename-then-remove so
+  a concurrent reader never sees a half-deleted entry;
+- ``get_or_fit`` takes a per-digest advisory **lockfile** before
+  fitting, so concurrent processes asked for the same model fit it
+  once: the loser polls, then loads the winner's artifact (a lock
+  older than ``lock_stale_s`` is taken over — a crashed fitter cannot
+  wedge the registry).
 """
 
 from __future__ import annotations
@@ -31,6 +49,7 @@ import hashlib
 import json
 import os
 import shutil
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -39,10 +58,12 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.cache.engine import ENGINE_NAMES
+from repro.exec import faults
 from repro.core.batchfit import BatchFitResult
 from repro.core.canonical import EXTENDED_FORMS, PAPER_FORMS
 from repro.core.extrapolate import fit_traces, synthesize_from_prediction
 from repro.core.fitting import BatchedFitReport, SweepPrediction
+from repro.obs.log import get_logger
 from repro.obs.manifest import git_sha
 from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
@@ -52,9 +73,24 @@ from repro.util.errors import ServeError
 
 SCHEMA_VERSION = 1
 
+log = get_logger("serve.registry")
+
 #: named canonical-form sets a spec may select (names are part of the
 #: content digest, so the mapping must stay append-only)
 FORM_SETS = {"paper": PAPER_FORMS, "extended": EXTENDED_FORMS}
+
+#: registry housekeeping directories (never valid shard names — shards
+#: are two hex characters)
+QUARANTINE_DIR = "quarantine"
+LOCKS_DIR = "locks"
+
+#: per-entry access-time sidecar (excluded from the files manifest:
+#: it mutates on every read)
+ATIME_FILE = "atime"
+
+#: fault-plan ``feature`` → the entry file a ``corrupt-model-entry``
+#: spec truncates
+FAULT_FILES = {"meta": "meta.json", "matrix": "Y.npy", "template": "template.npz"}
 
 #: the per-model fit matrices persisted as bare .npy files, in manifest
 #: order: (filename stem, BatchFitResult attribute)
@@ -240,6 +276,10 @@ class RegistryStats:
     stores: int = 0
     evictions: int = 0
     fits: int = 0
+    quarantined: int = 0
+    gc_evictions: int = 0
+    lock_waits: int = 0
+    lock_takeovers: int = 0
 
     def bump(self, name: str, n: int = 1) -> None:
         setattr(self, name, getattr(self, name) + n)
@@ -253,6 +293,10 @@ class RegistryStats:
             "stores": self.stores,
             "evictions": self.evictions,
             "fits": self.fits,
+            "quarantined": self.quarantined,
+            "gc_evictions": self.gc_evictions,
+            "lock_waits": self.lock_waits,
+            "lock_takeovers": self.lock_takeovers,
         }
 
 
@@ -271,15 +315,26 @@ class ModelRegistry:
         root: Optional[Union[str, Path]] = None,
         *,
         mem_entries: int = 8,
+        budget_mb: Optional[float] = None,
+        lock_stale_s: float = 30.0,
+        lock_poll_s: float = 0.05,
     ):
         if mem_entries < 1:
             raise ServeError(
                 f"mem_entries must be >= 1, got {mem_entries}", stage="serve"
             )
+        if budget_mb is not None and not budget_mb > 0:
+            raise ServeError(
+                f"registry budget must be positive, got {budget_mb}",
+                stage="serve",
+            )
         self.root = Path(root) if root is not None else None
         if self.root is not None:
             self.root.mkdir(parents=True, exist_ok=True)
         self.mem_entries = mem_entries
+        self.budget_mb = budget_mb
+        self.lock_stale_s = lock_stale_s
+        self.lock_poll_s = lock_poll_s
         self._mem: "OrderedDict[str, FittedModel]" = OrderedDict()
         self.stats = RegistryStats()
 
@@ -321,6 +376,8 @@ class ModelRegistry:
         found = set(self._mem)
         if self.root is not None:
             for meta in self.root.glob("*/*/meta.json"):
+                if meta.parent.parent.name == QUARANTINE_DIR:
+                    continue
                 found.add(meta.parent.name)
         return sorted(found)
 
@@ -334,10 +391,17 @@ class ModelRegistry:
         if self.root is not None:
             model_dir = self._model_dir(digest)
             if (model_dir / "meta.json").exists():
-                model = self._load_dir(model_dir)
-                self.stats.bump("disk_hits")
-                self._remember(digest, model)
-                return model
+                try:
+                    model = self._load_dir(model_dir)
+                except Exception as exc:  # noqa: BLE001 - any corruption
+                    # self-healing: corruption is a quarantine + miss,
+                    # never an exception surfaced to serving code
+                    self._quarantine(model_dir, digest, exc)
+                else:
+                    self.stats.bump("disk_hits")
+                    self._touch_atime(model_dir)
+                    self._remember(digest, model)
+                    return model
         self.stats.bump("misses")
         return None
 
@@ -345,17 +409,48 @@ class ModelRegistry:
         digest = model.digest
         if self.root is not None:
             self._store_dir(model, self._model_dir(digest))
+            spec_fault = faults.check_model_corrupt(digest)
+            if spec_fault is not None:
+                self._truncate_entry(digest, spec_fault.feature)
         self.stats.bump("stores")
         self._remember(digest, model)
+        if self.root is not None and self.budget_mb is not None:
+            self._gc(protect=digest)
         return digest
 
     def get_or_fit(
         self, spec: ModelSpec, *, config=None, report=None
     ) -> FittedModel:
-        """Answer from either tier, fitting (and persisting) on a miss."""
+        """Answer from either tier, fitting (and persisting) on a miss.
+
+        With a disk root, the fit runs under a per-digest advisory
+        lockfile: a second process asked for the same model waits for
+        the first and loads its artifact instead of re-fitting.
+        """
         model = self.get(spec)
         if model is not None:
             return model
+        digest = spec.digest()
+        if self.root is None:
+            return self._fit_and_put(spec, config=config, report=report)
+        while True:
+            if self._try_lock(digest):
+                try:
+                    # double-check under the lock: the previous holder
+                    # may have stored the artifact while we waited
+                    model = self.get(spec)
+                    if model is not None:
+                        return model
+                    return self._fit_and_put(spec, config=config, report=report)
+                finally:
+                    self._unlock(digest)
+            self.stats.bump("lock_waits")
+            time.sleep(self.lock_poll_s)
+            model = self.get(spec)
+            if model is not None:
+                return model
+
+    def _fit_and_put(self, spec, *, config=None, report=None) -> FittedModel:
         model = fit_model(spec, config=config, report=report)
         self.stats.bump("fits")
         self.put(model)
@@ -364,6 +459,173 @@ class ModelRegistry:
     def clear_memory(self) -> None:
         """Drop the memory tier (disk survives) — cold-start testing."""
         self._mem.clear()
+
+    # -- self-healing ---------------------------------------------------
+
+    def _quarantine(self, model_dir: Path, digest: str, exc: Exception) -> None:
+        """Move a corrupt entry aside (atomically) and count it.
+
+        The entry keeps its bytes under ``<root>/quarantine/<digest>-<n>``
+        for post-mortems; the registry reports a miss, so the caller's
+        ``get_or_fit`` refits transparently.
+        """
+        assert self.root is not None
+        qdir = self.root / QUARANTINE_DIR
+        qdir.mkdir(parents=True, exist_ok=True)
+        n = 0
+        while (qdir / f"{digest}-{n}").exists():
+            n += 1
+        try:
+            os.replace(model_dir, qdir / f"{digest}-{n}")
+        except OSError:  # pragma: no cover - cross-device fallback
+            shutil.rmtree(model_dir, ignore_errors=True)
+        self.stats.bump("quarantined")
+        log.warning("quarantined corrupt model %s: %s", digest[:12], exc)
+
+    def quarantined_digests(self) -> List[str]:
+        """Digests with at least one quarantined copy (diagnostics)."""
+        if self.root is None:
+            return []
+        found = {
+            p.name.rsplit("-", 1)[0]
+            for p in (self.root / QUARANTINE_DIR).glob("*")
+            if p.is_dir()
+        }
+        return sorted(found)
+
+    def _truncate_entry(self, digest: str, feature: str) -> None:
+        """Apply one injected ``corrupt-model-entry`` fault in place."""
+        name = FAULT_FILES.get(feature, "meta.json")
+        path = self._model_dir(digest) / name
+        try:
+            data = path.read_bytes()
+            path.write_bytes(data[: len(data) // 2])
+        except OSError:  # pragma: no cover - entry raced away
+            return
+        log.warning(
+            "injected corruption: truncated %s of model %s", name, digest[:12]
+        )
+
+    # -- fit locking ----------------------------------------------------
+
+    def _lock_path(self, digest: str) -> Path:
+        assert self.root is not None
+        return self.root / LOCKS_DIR / f"{digest}.lock"
+
+    def _try_lock(self, digest: str) -> bool:
+        """O_EXCL advisory lock; False = somebody else is fitting.
+
+        A lock older than ``lock_stale_s`` is presumed abandoned (the
+        fitter crashed between acquire and release) and removed, so the
+        next poll can take over.
+        """
+        path = self._lock_path(digest)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            fd = os.open(path, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            try:
+                age = time.time() - path.stat().st_mtime
+            except OSError:
+                return False  # holder released between checks; re-poll
+            if age > self.lock_stale_s:
+                try:
+                    os.remove(path)
+                except OSError:  # pragma: no cover - lost the takeover race
+                    pass
+                else:
+                    self.stats.bump("lock_takeovers")
+                    log.warning(
+                        "took over stale fit lock for %s (age %.1fs)",
+                        digest[:12],
+                        age,
+                    )
+            return False
+        with os.fdopen(fd, "w") as fh:
+            fh.write(f"{os.getpid()} {time.time():.6f}\n")
+        return True
+
+    def _unlock(self, digest: str) -> None:
+        try:
+            os.remove(self._lock_path(digest))
+        except OSError:  # pragma: no cover - already taken over
+            pass
+
+    # -- disk GC --------------------------------------------------------
+
+    def _entries(self) -> List[Path]:
+        assert self.root is not None
+        dirs = []
+        for meta in self.root.glob("*/*/meta.json"):
+            if meta.parent.parent.name == QUARANTINE_DIR:
+                continue
+            dirs.append(meta.parent)
+        return dirs
+
+    @staticmethod
+    def _dir_bytes(model_dir: Path) -> int:
+        try:
+            return sum(
+                p.stat().st_size for p in model_dir.iterdir() if p.is_file()
+            )
+        except OSError:  # pragma: no cover - concurrent delete
+            return 0
+
+    def disk_usage_bytes(self) -> int:
+        """Total bytes of live (non-quarantined) disk entries."""
+        if self.root is None:
+            return 0
+        return sum(self._dir_bytes(d) for d in self._entries())
+
+    def _touch_atime(self, model_dir: Path) -> None:
+        try:
+            (model_dir / ATIME_FILE).write_text(f"{time.time():.6f}\n")
+        except OSError:  # pragma: no cover - read-only registry is fine
+            pass
+
+    @staticmethod
+    def _entry_atime(model_dir: Path) -> float:
+        try:
+            return float((model_dir / ATIME_FILE).read_text().strip())
+        except (OSError, ValueError):
+            try:
+                return (model_dir / "meta.json").stat().st_mtime
+            except OSError:  # pragma: no cover - concurrent delete
+                return 0.0
+
+    def _gc(self, protect: str) -> None:
+        """Evict least-recently-used entries until under ``budget_mb``.
+
+        Deletes are rename-then-remove: the entry vanishes from the
+        namespace atomically, so a concurrent loader sees a miss, never
+        a half-deleted directory.  The just-stored digest is protected —
+        GC must not evict the entry whose store triggered it.
+        """
+        assert self.root is not None and self.budget_mb is not None
+        budget = self.budget_mb * 1024 * 1024
+        entries = [
+            (self._entry_atime(d), self._dir_bytes(d), d)
+            for d in self._entries()
+        ]
+        total = sum(nbytes for _, nbytes, _ in entries)
+        for atime, nbytes, model_dir in sorted(entries, key=lambda e: e[0]):
+            if total <= budget:
+                break
+            if model_dir.name == protect:
+                continue
+            doomed = model_dir.with_name(model_dir.name + ".gc")
+            try:
+                os.replace(model_dir, doomed)
+            except OSError:  # pragma: no cover - concurrent eviction
+                continue
+            shutil.rmtree(doomed, ignore_errors=True)
+            self._mem.pop(model_dir.name, None)
+            total -= nbytes
+            self.stats.bump("gc_evictions")
+            log.warning(
+                "registry GC evicted %s (%d bytes)", model_dir.name[:12], nbytes
+            )
+        REGISTRY.gauge("serve.registry.disk_mb").set(total / (1024 * 1024))
 
     # -- persistence ----------------------------------------------------
 
@@ -381,6 +643,13 @@ class ModelRegistry:
             for f, params in enumerate(batch.params):
                 np.save(tmp / f"params_{f}.npy", params)
             model.template.save_npz(tmp / "template.npz")
+            files = {}
+            for path in sorted(tmp.iterdir()):
+                data = path.read_bytes()
+                files[path.name] = {
+                    "bytes": len(data),
+                    "sha256": hashlib.sha256(data).hexdigest(),
+                }
             meta = {
                 "schema_version": SCHEMA_VERSION,
                 "spec": model.spec.to_dict(),
@@ -388,10 +657,12 @@ class ModelRegistry:
                 "level_names": list(model.report.schema.level_names),
                 "pair_keys": [[int(b), int(k)] for b, k in model.report.pair_keys],
                 "form_names": [f.name for f in batch.forms],
+                "files": files,
             }
             (tmp / "meta.json").write_text(
                 json.dumps(meta, indent=2, sort_keys=True) + "\n"
             )
+            (tmp / ATIME_FILE).write_text(f"{time.time():.6f}\n")
             model_dir.parent.mkdir(parents=True, exist_ok=True)
             if model_dir.exists():
                 # concurrent writer won the race; same digest = same content
@@ -416,6 +687,25 @@ class ModelRegistry:
                 f"{meta.get('schema_version')!r} in {model_dir}",
                 stage="serve",
             )
+        # integrity gate: every manifest-listed artifact must exist at
+        # its recorded size (truncation — the realistic partial-write /
+        # injected corruption — always changes the byte count; content
+        # hashes are kept in the manifest for forensics, not re-hashed
+        # on the hot load path)
+        for name, entry in meta.get("files", {}).items():
+            path = model_dir / name
+            if not path.exists():
+                raise ServeError(
+                    f"model artifact {name} missing from {model_dir}",
+                    stage="serve",
+                )
+            actual = path.stat().st_size
+            if actual != int(entry["bytes"]):
+                raise ServeError(
+                    f"model artifact {name} in {model_dir} is "
+                    f"{actual} bytes, manifest says {entry['bytes']}",
+                    stage="serve",
+                )
         spec = ModelSpec.from_dict(meta["spec"])
         form_set = FORM_SETS[spec.forms]
         by_name = {f.name: f for f in form_set}

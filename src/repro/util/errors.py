@@ -102,3 +102,24 @@ class AdmissionError(ServeError):
     it, not the query — so it is never retried internally; clients are
     expected to back off and resubmit.
     """
+
+
+class DeadlineExceededError(ServeError, TimeoutError):
+    """A query's ``deadline_ms`` expired before it could be answered.
+
+    Raised at one of three boundaries — admission (the backpressure wait
+    outlived the deadline), dispatch (the query aged out in its tenant
+    queue), or batch flush (the deadline passed while the query was
+    parked in an open batch).  Always a fast typed answer, never a hang:
+    an expired query is cancelled, not computed.
+    """
+
+
+class CircuitOpenError(ServeError):
+    """The model's circuit breaker is open; the query was shed.
+
+    After ``breaker_threshold`` consecutive batch failures for one model
+    the engine stops dispatching to it and fails queries fast with this
+    error until a timed half-open probe succeeds.  Clients should retry
+    after a backoff — the breaker re-closes on the first healthy probe.
+    """

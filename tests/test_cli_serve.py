@@ -10,12 +10,20 @@ from __future__ import annotations
 
 import io
 import json
+import os
+import signal
+import subprocess
+import sys
+import threading
+from pathlib import Path
 
 import pytest
 
 from repro.cli import main
 
 BASE = ["serve", "--app", "jacobi", "--train", "4,8,16"]
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
 def _run(capsys, argv):
@@ -107,6 +115,127 @@ class TestServeLoadGen:
         assert _run(capsys, argv)[0] == 0
         # same spec, same digest: still exactly one persisted model
         assert len(list(registry.glob("*/*/meta.json"))) == 1
+
+
+class TestServeSummaryOut:
+    def test_summary_out_records_every_layer(self, tmp_path, capsys):
+        summary_path = tmp_path / "serve_summary.json"
+        rc, _, _ = _run(
+            capsys,
+            BASE
+            + [
+                "--registry", str(tmp_path / "reg"),
+                "--load-gen", "40",
+                "--load-targets", "32,64",
+                "--summary-out", str(summary_path),
+            ],
+        )
+        assert rc == 0
+        doc = json.loads(summary_path.read_text())
+        assert set(doc) >= {
+            "engine", "batcher", "registry", "latency", "resilience", "load"
+        }
+        assert doc["load"]["n_queries"] == 40
+        assert doc["load"]["rejected"] == 0 and doc["load"]["errors"] == 0
+        # a clean run: the resilience tally is all zeros
+        res = doc["resilience"]
+        assert res["batch_failures"] == 0 and res["breaker_opens"] == 0
+        assert res["deadline_expired"] == 0 and res["transitions"] == []
+        # accounting closes: every generated query is accounted for
+        eng = doc["engine"]
+        assert eng["queries"] == (
+            eng["answered"] + eng["failed"] + eng["rejected"]
+        )
+        assert eng["answered"] == 40
+
+    def test_unwritable_summary_out_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        rc, _, err = _run(
+            capsys,
+            BASE
+            + [
+                "--registry", str(tmp_path / "reg"),
+                "--load-gen", "8",
+                "--summary-out", str(blocker / "summary.json"),
+            ],
+        )
+        assert rc == 2
+        assert "--summary-out" in err and "Traceback" not in err
+
+
+class TestServeDrain:
+    def _spawn_serve(self, registry, *extra):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src")
+        return subprocess.Popen(
+            [
+                sys.executable, "-m", "repro", "serve",
+                "--app", "jacobi", "--train", "4,8,16",
+                "--registry", str(registry), *extra,
+            ],
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            cwd=str(REPO_ROOT),
+            env=env,
+        )
+
+    @staticmethod
+    def _readline(proc, timeout_s=240.0):
+        """One stdout line, or kill the subprocess and fail loudly."""
+        box = {}
+
+        def read():
+            box["line"] = proc.stdout.readline()
+
+        t = threading.Thread(target=read, daemon=True)
+        t.start()
+        t.join(timeout_s)
+        if t.is_alive():
+            proc.kill()
+            _, err = proc.communicate()
+            raise AssertionError(f"serve produced no answer; stderr:\n{err}")
+        return box["line"]
+
+    def test_sigterm_answers_inflight_and_exits_zero(self, tmp_path, capsys, monkeypatch):
+        registry = tmp_path / "reg"
+        # warm the registry in-process so the subprocess loads, not fits
+        monkeypatch.setattr("sys.stdin", io.StringIO(""))
+        assert main(BASE + ["--registry", str(registry)]) == 0
+        capsys.readouterr()
+
+        summary_path = tmp_path / "summary.json"
+        proc = self._spawn_serve(
+            registry, "--summary-out", str(summary_path)
+        )
+        try:
+            proc.stdin.write('{"id": 1, "target": 64}\n')
+            proc.stdin.flush()
+            doc = json.loads(self._readline(proc))
+            assert doc["ok"] and doc["id"] == 1
+            proc.send_signal(signal.SIGTERM)
+            # wait WITHOUT closing stdin: an EOF would race the signal
+            # and exit through the non-drain path
+            proc.wait(timeout=120)
+            err = proc.stderr.read()
+        finally:
+            if proc.poll() is None:
+                proc.kill()
+            proc.stdin.close()
+            proc.stdout.close()
+            proc.stderr.close()
+        # the drain contract: exit 0, with a final stderr summary line
+        assert proc.returncode == 0
+        drain = next(
+            ln for ln in err.splitlines() if ln.startswith("serve-drain:")
+        )
+        assert "answered=1" in drain
+        assert "deadline_expired=0" in drain
+        # and the summary artifact still lands on the way out
+        summary = json.loads(summary_path.read_text())
+        assert summary["engine"]["answered"] == 1
 
 
 class TestServeStdin:

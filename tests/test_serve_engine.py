@@ -211,6 +211,124 @@ def test_stop_drains_enqueued_queries(serve_model):
     assert all(a.batch_size == 3 for a in answers)
 
 
+def test_admission_accounting_in_metrics(serve_model):
+    """Reject-mode sheds land in both the stats and the serve.* counters."""
+    from repro.obs.metrics import REGISTRY
+
+    before = REGISTRY.counters.get("serve.rejected", 0)
+
+    async def main():
+        engine = _engine(serve_model, queue_depth=1, admission="reject")
+        tasks = [
+            asyncio.ensure_future(engine.query(Query(target=64)))
+            for _ in range(4)
+        ]
+        await _settle()
+        await engine.start()
+        await asyncio.gather(*tasks, return_exceptions=True)
+        await engine.stop()
+        return engine, tasks
+
+    engine, tasks = asyncio.run(main())
+    rejections = [
+        t.exception() for t in tasks if t.exception() is not None
+    ]
+    assert len(rejections) == 3
+    assert all(isinstance(e, AdmissionError) for e in rejections)
+    assert engine.stats.rejected == 3
+    assert REGISTRY.counters.get("serve.rejected", 0) - before == 3
+    # accounting is exhaustive: every query rejected or answered
+    assert engine.stats.answered == 1
+    assert engine.stats.queries == (
+        engine.stats.answered + engine.stats.failed + engine.stats.rejected
+    )
+
+
+def test_per_tenant_queue_depth_gauges(serve_model):
+    """The serve.queue_depth.<tenant> gauge tracks each tenant's queue."""
+    from repro.obs.metrics import REGISTRY
+
+    async def main():
+        engine = _engine(serve_model)
+        depths = {}
+        tasks = []
+        for i in range(3):
+            tasks.append(
+                asyncio.ensure_future(
+                    engine.query(Query(target=64, tenant="hot"))
+                )
+            )
+            await asyncio.sleep(0)
+            depths[f"enqueue{i}"] = REGISTRY.gauge(
+                "serve.queue_depth.hot"
+            ).value
+        tasks.append(
+            asyncio.ensure_future(
+                engine.query(Query(target=64, tenant="cold"))
+            )
+        )
+        await asyncio.sleep(0)
+        depths["cold"] = REGISTRY.gauge("serve.queue_depth.cold").value
+        await engine.start()
+        await asyncio.gather(*tasks)
+        depths["hot_drained"] = REGISTRY.gauge("serve.queue_depth.hot").value
+        depths["cold_drained"] = REGISTRY.gauge(
+            "serve.queue_depth.cold"
+        ).value
+        await engine.stop()
+        return depths
+
+    depths = asyncio.run(main())
+    # the gauge rises with each admission, per tenant...
+    assert depths["enqueue0"] == 1.0
+    assert depths["enqueue1"] == 2.0
+    assert depths["enqueue2"] == 3.0
+    assert depths["cold"] == 1.0
+    # ...and returns to zero once the dispatcher drains the queues
+    assert depths["hot_drained"] == 0.0
+    assert depths["cold_drained"] == 0.0
+
+
+def test_loadgen_percentiles_match_hand_computed_values(serve_model):
+    """p50/p95 come from linear-interpolation quantiles over latencies.
+
+    A stub engine answers with prescribed latencies, so the report's
+    percentile math is pinned against hand-computed values:
+    sorted latencies [10, 20, 30, 40] ms -> p50 at position 1.5 is
+    25 ms, p95 at position 2.85 is 30 + 0.85 * 10 = 38.5 ms.
+    """
+    from repro.serve import Answer, LoadSpec, run_load, synthetic_queries
+
+    latencies_ms = [30.0, 10.0, 40.0, 20.0]  # submission order
+
+    class _StubEngine:
+        def __init__(self):
+            self.n = 0
+
+        async def query(self, q):
+            i = self.n
+            self.n += 1
+            return Answer(
+                target=q.target,
+                kind=q.kind,
+                model="stub",
+                tenant=q.tenant,
+                values=np.zeros((1, 1)),
+                runtime_s=None,
+                batch_size=2,
+                latency_s=latencies_ms[i] / 1e3,
+            )
+
+    spec = LoadSpec(n_queries=4, targets=(64,), name="p95-math")
+    queries = synthetic_queries(spec, model="stub")
+    report, answers = asyncio.run(run_load(_StubEngine(), queries))
+    assert len(answers) == 4 and all(a is not None for a in answers)
+    assert report.p50_ms == pytest.approx(25.0)
+    assert report.p95_ms == pytest.approx(38.5)
+    assert report.mean_batch == pytest.approx(2.0)
+    assert report.rejected == 0 and report.errors == 0
+
+
 def test_summary_reports_all_layers(serve_model):
     async def main():
         engine = _engine(serve_model)

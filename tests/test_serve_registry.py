@@ -137,22 +137,27 @@ class TestRegistryTiers:
         assert set(reg.digests()) == {serve_model.digest, other.digest}
         assert len(reg) == 2
 
-    def test_corrupt_metadata_surfaces_as_serve_error(
+    def test_corrupt_metadata_quarantines_and_misses(
         self, tmp_path, serve_model
     ):
+        # self-healing contract: corruption never surfaces as an
+        # exception — the entry is quarantined and the lookup misses
         reg = ModelRegistry(tmp_path / "models")
         reg.put(serve_model)
         reg.clear_memory()
-        meta = (
-            tmp_path
-            / "models"
-            / serve_model.digest[:2]
-            / serve_model.digest
-            / "meta.json"
+        entry = (
+            tmp_path / "models" / serve_model.digest[:2] / serve_model.digest
         )
-        meta.write_text("{ not json")
-        with pytest.raises(ServeError):
-            reg.get(serve_model.spec)
+        (entry / "meta.json").write_text("{ not json")
+        assert reg.get(serve_model.spec) is None
+        assert reg.stats.quarantined == 1
+        assert reg.stats.misses == 1
+        assert not entry.exists()
+        qdir = tmp_path / "models" / "quarantine"
+        assert (qdir / f"{serve_model.digest}-0" / "meta.json").exists()
+        assert reg.quarantined_digests() == [serve_model.digest]
+        # the digest is no longer listed, so get_or_fit would refit
+        assert serve_model.digest not in reg.digests()
 
     def test_bad_mem_entries_rejected(self):
         with pytest.raises(ServeError):
