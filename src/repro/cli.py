@@ -809,7 +809,9 @@ def _install_drain_handlers(loop, callback) -> list:
     return hooked
 
 
-async def _serve_stdin_loop(engine, schema, *, deadline_ms=None) -> bool:
+async def _serve_stdin_loop(
+    engine, schema, *, deadline_ms=None, telemetry=None
+) -> bool:
     """JSONL request/response over stdin/stdout until EOF or a signal.
 
     Returns True when the exit was a graceful drain (SIGTERM/SIGINT):
@@ -822,6 +824,8 @@ async def _serve_stdin_loop(engine, schema, *, deadline_ms=None) -> bool:
     from repro.serve import Query
 
     await engine.start()
+    if telemetry is not None:
+        await telemetry.start()
     loop = asyncio.get_running_loop()
     #: reader → loop handoff; None is the drain sentinel, "" is EOF
     lines: asyncio.Queue = asyncio.Queue()
@@ -892,15 +896,20 @@ async def _serve_stdin_loop(engine, schema, *, deadline_ms=None) -> bool:
     if pending:
         await asyncio.gather(*pending, return_exceptions=True)
     await engine.stop()
+    if telemetry is not None:
+        # after the drain, so the final record closes the books exactly
+        await telemetry.stop()
     return drained
 
 
-async def _serve_load_main(engine, load_spec, digest):
+async def _serve_load_main(engine, load_spec, digest, telemetry=None):
     import asyncio
 
     from repro.serve import run_load, synthetic_queries
 
     await engine.start()
+    if telemetry is not None:
+        await telemetry.start()
     loop = asyncio.get_running_loop()
     # a signal mid-load closes admission: the unsubmitted remainder is
     # counted as rejected and the run exits 0 with its partial report
@@ -915,6 +924,8 @@ async def _serve_load_main(engine, load_spec, digest):
             except (NotImplementedError, RuntimeError, ValueError):
                 pass
         await engine.stop()
+        if telemetry is not None:
+            await telemetry.stop()
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
@@ -986,6 +997,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
         )
     if args.summary_out:
         _check_writable("--summary-out", args.summary_out, is_dir=False)
+    if not args.telemetry_interval > 0:
+        raise UsageError(
+            f"--telemetry-interval must be positive, "
+            f"got {args.telemetry_interval}"
+        )
+    if args.telemetry_out:
+        _check_writable("--telemetry-out", args.telemetry_out, is_dir=False)
+    if args.prom_out:
+        _check_writable("--prom-out", args.prom_out, is_dir=False)
 
     cache = _build_cache(args)
     fit_config = Table1Config(
@@ -1032,6 +1052,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
             runtime_workers=args.runtime_workers,
         ),
     )
+    telemetry = None
+    if args.telemetry_out or args.prom_out:
+        from repro.obs.telemetry import TelemetryConfig, TelemetrySampler
+
+        telemetry = TelemetrySampler(
+            engine,
+            TelemetryConfig(
+                interval_s=args.telemetry_interval / 1e3,
+                out=args.telemetry_out,
+                prom_out=args.prom_out,
+            ),
+        )
 
     if args.load_gen is not None:
         if args.load_targets is not None:
@@ -1050,7 +1082,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
             wave_interval_s=args.load_wave_interval_ms / 1e3,
         )
         report, _answers = asyncio.run(
-            _serve_load_main(engine, load_spec, model.digest)
+            _serve_load_main(engine, load_spec, model.digest, telemetry)
         )
         load_report = report.to_dict()
         r = load_report
@@ -1065,7 +1097,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         load_report = None
         drained = asyncio.run(
             _serve_stdin_loop(
-                engine, model.template.schema, deadline_ms=args.deadline_ms
+                engine,
+                model.template.schema,
+                deadline_ms=args.deadline_ms,
+                telemetry=telemetry,
             )
         )
 
@@ -1087,15 +1122,224 @@ def cmd_serve(args: argparse.Namespace) -> int:
     if args.summary_out:
         Path(args.summary_out).write_bytes(summary_bytes)
         log.info("wrote serve summary: %s", args.summary_out)
+    outputs = {"serve_summary.json": summary_bytes}
+    if telemetry is not None:
+        log.info(
+            "telemetry: %d flight-recorder records%s%s",
+            telemetry.records_written,
+            f" -> {args.telemetry_out}" if args.telemetry_out else "",
+            f", prometheus -> {args.prom_out}" if args.prom_out else "",
+        )
+        if args.telemetry_out:
+            outputs["telemetry.jsonl"] = Path(args.telemetry_out).read_bytes()
+        if args.prom_out:
+            outputs["metrics.prom"] = Path(args.prom_out).read_bytes()
     _write_manifest(
         args,
         command="serve",
-        outputs={"serve_summary.json": summary_bytes},
+        outputs=outputs,
         app=app.name,
         machine=args.machine,
         cache=cache,
         serve=engine.report,
     )
+    return 0
+
+
+def _stats_doc(records: list, top: int) -> dict:
+    """Digest a flight-recorder record list into the `repro stats` doc."""
+    from repro.obs.telemetry import StreamingHistogram, sum_counters
+
+    totals = sum_counters(records)
+    tenants: dict = {}
+    tenant_fields = ("queries", "answered", "failed", "rejected", "waits")
+    for name, value in totals.items():
+        parts = name.split(".")
+        if name.startswith("serve.tenant.") and len(parts) == 4:
+            _, _, fld, tenant = parts
+            if fld in tenant_fields:
+                row = tenants.setdefault(
+                    tenant, {f: 0 for f in tenant_fields}
+                )
+                row[fld] = value
+    timeline = []
+    lags = []
+    for record in records:
+        counters = record.get("counters", {})
+        interval = record.get("interval_s", 0.0)
+        answered = counters.get("serve.answered", 0)
+        entry = {
+            "seq": record.get("seq", 0),
+            "t_s": record.get("t_s", 0.0),
+            "interval_s": interval,
+            "answered": answered,
+            "qps": round(answered / interval, 1) if interval > 0 else 0.0,
+            "final": bool(record.get("final")),
+        }
+        latency = record.get("hists", {}).get("serve.latency_s")
+        if latency:
+            hist = StreamingHistogram.from_dict(latency)
+            entry["p50_ms"] = round(hist.quantile(0.50) * 1e3, 3)
+            entry["p95_ms"] = round(hist.quantile(0.95) * 1e3, 3)
+        if "loop_lag_s" in record:
+            entry["lag_ms"] = round(record["loop_lag_s"] * 1e3, 3)
+            lags.append(record["loop_lag_s"])
+        timeline.append(entry)
+    slow = sorted(
+        (
+            entry
+            for record in records
+            for entry in record.get("slow_queries", [])
+        ),
+        key=lambda e: -e.get("latency_ms", 0.0),
+    )[: max(top, 0)]
+    transitions = [
+        {"seq": record.get("seq", 0), "t_s": record.get("t_s", 0.0),
+         "transition": tag}
+        for record in records
+        for tag in record.get("transitions", [])
+    ]
+    lookups = sum(
+        totals.get(f"serve.registry.{f}", 0)
+        for f in ("mem_hits", "disk_hits", "misses")
+    )
+    hits = sum(
+        totals.get(f"serve.registry.{f}", 0)
+        for f in ("mem_hits", "disk_hits")
+    )
+    batches = totals.get("serve.batch.batches", 0)
+    doc = {
+        "records": len(records),
+        "complete": bool(records and records[-1].get("final")),
+        "duration_s": records[-1].get("t_s", 0.0) if records else 0.0,
+        "totals": {
+            "queries": totals.get("serve.queries", 0),
+            "answered": totals.get("serve.answered", 0),
+            "failed": totals.get("serve.failed", 0),
+            "rejected": totals.get("serve.rejected", 0),
+            "batches": batches,
+            "mean_batch": round(
+                totals.get("serve.batch.queries", 0) / batches, 2
+            ) if batches else 0.0,
+            "registry_hit_rate": round(hits / lookups, 3) if lookups else 0.0,
+        },
+        "counters": {k: totals[k] for k in sorted(totals)},
+        "tenants": {t: tenants[t] for t in sorted(tenants)},
+        "timeline": timeline,
+        "transitions": transitions,
+        "breakers": records[-1].get("breakers", {}) if records else {},
+        "slow_queries": slow,
+    }
+    if lags:
+        doc["loop_lag"] = {
+            "mean_ms": round(sum(lags) / len(lags) * 1e3, 3),
+            "max_ms": round(max(lags) * 1e3, 3),
+        }
+    return doc
+
+
+def _render_stats(doc: dict) -> str:
+    """Human rendering of one :func:`_stats_doc` (the golden-tested text)."""
+    from repro.util.tables import Table
+
+    out = []
+    state = "complete" if doc["complete"] else "mid-run (no final record)"
+    totals = doc["totals"]
+    out.append(
+        f"flight recorder: {doc['records']} records over "
+        f"{doc['duration_s']:.3f}s ({state})"
+    )
+    out.append(
+        f"totals: queries={totals['queries']} "
+        f"answered={totals['answered']} failed={totals['failed']} "
+        f"rejected={totals['rejected']} batches={totals['batches']} "
+        f"mean_batch={totals['mean_batch']} "
+        f"registry_hit_rate={totals['registry_hit_rate']}"
+    )
+    if "loop_lag" in doc:
+        lag = doc["loop_lag"]
+        out.append(
+            f"loop lag: mean={lag['mean_ms']}ms max={lag['max_ms']}ms"
+        )
+    timeline = Table(
+        ["seq", "t_s", "dt_s", "answered", "qps", "p50_ms", "p95_ms"],
+        title="rate timeline",
+    )
+    for entry in doc["timeline"]:
+        timeline.add_row(
+            entry["seq"],
+            entry["t_s"],
+            entry["interval_s"],
+            entry["answered"],
+            entry["qps"],
+            entry.get("p50_ms", "-"),
+            entry.get("p95_ms", "-"),
+        )
+    out.append("")
+    out.append(timeline.render())
+    if doc["tenants"]:
+        tenants = Table(
+            ["tenant", "queries", "answered", "failed", "rejected", "waits"],
+            title="tenants",
+        )
+        for tenant, row in doc["tenants"].items():
+            tenants.add_row(
+                tenant, row["queries"], row["answered"], row["failed"],
+                row["rejected"], row["waits"],
+            )
+        out.append("")
+        out.append(tenants.render())
+    if doc["transitions"] or doc["breakers"]:
+        breakers = Table(
+            ["seq", "t_s", "transition"], title="breaker transitions"
+        )
+        for entry in doc["transitions"]:
+            breakers.add_row(
+                entry["seq"], entry["t_s"], entry["transition"]
+            )
+        out.append("")
+        out.append(breakers.render())
+        if doc["breakers"]:
+            states = " ".join(
+                f"{model}:{state}"
+                for model, state in sorted(doc["breakers"].items())
+            )
+            out.append(f"breaker states: {states}")
+    if doc["slow_queries"]:
+        slow = Table(
+            ["latency_ms", "tenant", "target", "kind", "model"],
+            title="slowest queries",
+        )
+        for entry in doc["slow_queries"]:
+            slow.add_row(
+                entry.get("latency_ms", 0.0),
+                entry.get("tenant", "-"),
+                entry.get("target", 0),
+                entry.get("kind", "-"),
+                entry.get("model", "-"),
+            )
+        out.append("")
+        out.append(slow.render())
+    return "\n".join(out)
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    from repro.obs.telemetry import read_flight_records
+
+    path = Path(args.telemetry)
+    if not path.exists():
+        raise UsageError(f"--telemetry file not found: {path}")
+    if args.top < 0:
+        raise UsageError(f"--top must be >= 0, got {args.top}")
+    records = read_flight_records(path)
+    if not records:
+        print(f"stats: no complete records in {path} (empty or torn file)")
+        return 0
+    doc = _stats_doc(records, args.top)
+    if args.as_json:
+        print(json.dumps(doc, indent=2, sort_keys=True))
+    else:
+        print(_render_stats(doc))
     return 0
 
 
@@ -1282,9 +1526,42 @@ def build_parser() -> argparse.ArgumentParser:
                    help="also write serve_summary.json (engine, "
                         "batcher, registry, resilience tallies) to "
                         "this path")
+    p.add_argument("--telemetry-out", default=None, metavar="FILE",
+                   help="append one JSON flight-recorder record per "
+                        "telemetry interval (per-interval counter and "
+                        "latency-histogram deltas, queue depths, "
+                        "breaker states, loop lag, slow queries); "
+                        "read it back with `repro stats`")
+    p.add_argument("--prom-out", default=None, metavar="FILE",
+                   help="rewrite this file atomically each telemetry "
+                        "interval with Prometheus text exposition of "
+                        "the live metrics registry")
+    p.add_argument("--telemetry-interval", type=float, default=1000.0,
+                   metavar="MS",
+                   help="sampling interval for --telemetry-out / "
+                        "--prom-out in milliseconds (default 1000)")
     _add_exec_flags(p)
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser(
+        "stats",
+        help="summarize a serve flight-recorder file",
+        description="Read a --telemetry-out flight recorder (complete, "
+                    "or mid-run with a torn final line) and print "
+                    "end-to-end totals, a per-interval rate timeline, "
+                    "per-tenant and breaker summaries, and the slowest "
+                    "queries.",
+    )
+    p.add_argument("--telemetry", required=True, metavar="FILE",
+                   help="flight-recorder JSONL written by "
+                        "`repro serve --telemetry-out`")
+    p.add_argument("--top", type=int, default=10, metavar="N",
+                   help="slow-query log entries to show (default 10)")
+    p.add_argument("--json", action="store_true", dest="as_json",
+                   help="emit the full stats document as JSON instead "
+                        "of tables")
+    p.set_defaults(fn=cmd_stats)
 
     return parser
 

@@ -1,6 +1,6 @@
-"""Pipeline-wide observability: logging, span tracing, metrics, manifests.
+"""Pipeline-wide observability: logging, tracing, metrics, telemetry.
 
-Four small, dependency-free layers every pipeline stage reports through:
+Five small, dependency-free layers every pipeline stage reports through:
 
 - :mod:`repro.obs.log` — structured, rate-limit-safe logging (human or
   JSONL) on stdlib ``logging``;
@@ -8,6 +8,9 @@ Four small, dependency-free layers every pipeline stage reports through:
   Chrome-trace JSON, propagated across process-pool boundaries;
 - :mod:`repro.obs.metrics` — a process-local registry of counters,
   gauges, and histogram timers, exported as one JSON document;
+- :mod:`repro.obs.telemetry` — bounded streaming histograms, the live
+  flight-recorder sampler for the serving engine (per-interval JSONL
+  deltas + Prometheus text exposition), read by ``repro stats``;
 - :mod:`repro.obs.manifest` — run manifests tying every output artifact
   (by content digest) to the configuration that produced it.
 

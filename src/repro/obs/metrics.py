@@ -26,6 +26,8 @@ from contextlib import contextmanager
 from pathlib import Path
 from typing import Dict, List, Union
 
+from repro.obs.telemetry import StreamingHistogram
+
 
 class Counter:
     """Handle to one monotonically increasing counter."""
@@ -54,7 +56,7 @@ class Gauge:
         self.name = name
 
     def set(self, value: float) -> None:
-        self._registry.gauges[self.name] = float(value)
+        self._registry.set_gauge(self.name, value)
 
     @property
     def value(self) -> float:
@@ -73,6 +75,79 @@ def _quantile(sorted_values: List[float], q: float) -> float:
     hi = min(lo + 1, n - 1)
     frac = pos - lo
     return sorted_values[lo] * (1.0 - frac) + sorted_values[hi] * frac
+
+
+#: exact observations kept per timer: short runs (and every existing
+#: p50/p95 test expectation) stay numerically identical to the old
+#: raw-list math; past this the streaming histogram answers quantiles
+RESERVOIR_SIZE = 256
+
+
+class TimerState:
+    """One timer's bounded state: streaming histogram + exact reservoir.
+
+    The histogram makes memory O(1) however long the process serves
+    (the raw-list timers it replaces grew one float per observation);
+    the first :data:`RESERVOIR_SIZE` observations are also kept exactly
+    so short-run quantiles match the legacy sorted-list interpolation
+    bit for bit.  ``count``/``sum``/``max`` are always exact.
+    """
+
+    __slots__ = ("hist", "reservoir")
+
+    def __init__(self) -> None:
+        self.hist = StreamingHistogram()
+        self.reservoir: List[float] = []
+
+    @property
+    def exact(self) -> bool:
+        """True while every observation is still in the reservoir."""
+        return self.hist.count <= RESERVOIR_SIZE
+
+    def observe(self, seconds: float) -> None:
+        value = float(seconds)
+        self.hist.observe(value)
+        if len(self.reservoir) < RESERVOIR_SIZE:
+            self.reservoir.append(value)
+
+    def quantile(self, q: float) -> float:
+        if self.exact:
+            return _quantile(sorted(self.reservoir), q)
+        return self.hist.quantile(q)
+
+    def summary(self) -> Dict[str, float]:
+        hist = self.hist
+        return {
+            "count": hist.count,
+            "sum_s": hist.total,
+            "p50_s": self.quantile(0.50),
+            "p95_s": self.quantile(0.95),
+            "p99_s": self.quantile(0.99),
+            "max_s": hist.max_value if hist.count else 0.0,
+        }
+
+    def to_dict(self) -> dict:
+        return {
+            "hist": self.hist.to_dict(),
+            "reservoir": list(self.reservoir),
+        }
+
+    def merge(self, shipped: Union["TimerState", dict, List[float]]) -> None:
+        """Fold a shipped form in: another state, its :meth:`to_dict`,
+        or a legacy raw list of observations."""
+        if isinstance(shipped, list):
+            for value in shipped:
+                self.observe(value)
+            return
+        if isinstance(shipped, TimerState):
+            hist, reservoir = shipped.hist, shipped.reservoir
+        else:
+            hist = StreamingHistogram.from_dict(shipped["hist"])
+            reservoir = shipped.get("reservoir", [])
+        self.hist.merge(hist)
+        room = RESERVOIR_SIZE - len(self.reservoir)
+        if room > 0:
+            self.reservoir.extend(float(v) for v in reservoir[:room])
 
 
 class Timer:
@@ -96,14 +171,10 @@ class Timer:
             self.observe(time.perf_counter() - t0)
 
     def summary(self) -> Dict[str, float]:
-        values = sorted(self._registry.timers.get(self.name, []))
-        return {
-            "count": len(values),
-            "sum_s": float(sum(values)),
-            "p50_s": _quantile(values, 0.50),
-            "p95_s": _quantile(values, 0.95),
-            "max_s": values[-1] if values else 0.0,
-        }
+        state = self._registry.timers.get(self.name)
+        if state is None:
+            state = TimerState()
+        return state.summary()
 
 
 class MetricsRegistry:
@@ -117,15 +188,22 @@ class MetricsRegistry:
     def __init__(self) -> None:
         self.counters: Dict[str, Union[int, float]] = {}
         self.gauges: Dict[str, float] = {}
-        self.timers: Dict[str, List[float]] = {}
+        self.timers: Dict[str, TimerState] = {}
 
     # -- primitive operations (also reachable through handles) ---------
 
     def inc(self, name: str, n: Union[int, float] = 1) -> None:
         self.counters[name] = self.counters.get(name, 0) + n
 
+    def set_gauge(self, name: str, value: float) -> None:
+        """Allocation-free gauge write for hot paths (no handle object)."""
+        self.gauges[name] = float(value)
+
     def observe(self, name: str, seconds: float) -> None:
-        self.timers.setdefault(name, []).append(float(seconds))
+        state = self.timers.get(name)
+        if state is None:
+            state = self.timers[name] = TimerState()
+        state.observe(seconds)
 
     def counter(self, name: str) -> Counter:
         return Counter(self, name)
@@ -148,18 +226,25 @@ class MetricsRegistry:
         snapshot = {
             "counters": dict(self.counters),
             "gauges": dict(self.gauges),
-            "timers": {k: list(v) for k, v in self.timers.items()},
+            "timers": {k: v.to_dict() for k, v in self.timers.items()},
         }
         self.reset()
         return snapshot
 
     def merge(self, snapshot: Dict[str, dict]) -> None:
-        """Fold a :meth:`drain` snapshot (e.g. from a pool worker) in."""
+        """Fold a :meth:`drain` snapshot (e.g. from a pool worker) in.
+
+        Timer snapshots arrive as :meth:`TimerState.to_dict` documents;
+        legacy raw-list snapshots (pre-histogram drains) still merge.
+        """
         for name, n in snapshot.get("counters", {}).items():
             self.inc(name, n)
         self.gauges.update(snapshot.get("gauges", {}))
-        for name, values in snapshot.get("timers", {}).items():
-            self.timers.setdefault(name, []).extend(values)
+        for name, shipped in snapshot.get("timers", {}).items():
+            state = self.timers.get(name)
+            if state is None:
+                state = self.timers[name] = TimerState()
+            state.merge(shipped)
 
     # -- export ---------------------------------------------------------
 

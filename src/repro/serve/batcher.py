@@ -203,9 +203,19 @@ class MicroBatcher:
         self.stats.bump("batches")
         self.stats.bump(reason)
         REGISTRY.observe("serve.batch_size", float(len(fresh)))
+        # flush-reason mix, weighted by batch size: how many queries
+        # each trigger (size / deadline / drain) actually carried
+        REGISTRY.inc(f"serve.batch.queries_by.{reason}", len(fresh))
         items = [item for item, _ in fresh]
         try:
-            with span("serve.batch", key=str(key), size=len(items)):
+            # the flush span carries the reason so --trace-out shows
+            # which trigger (size / deadline / drain) ran each batch
+            with span(
+                "serve.flush",
+                key=str(key),
+                reason=reason,
+                size=len(items),
+            ):
                 results = self._run_batch(key, items)
         except Exception as exc:  # noqa: BLE001 - fan the failure out
             self._fail(fresh, exc)

@@ -64,7 +64,8 @@ import numpy as np
 
 from repro.exec import faults
 from repro.exec.resilience import run_tasks_resilient
-from repro.obs.metrics import REGISTRY, _quantile
+from repro.obs.metrics import REGISTRY, TimerState
+from repro.obs.trace import span
 from repro.serve.batcher import MicroBatcher
 from repro.serve.registry import FittedModel, ModelRegistry
 from repro.serve.resilience import (
@@ -259,12 +260,19 @@ class QueryEngine:
         self.stats = EngineStats()
         self.report = ServeReport()
         self.draining = False
+        #: an attached TelemetrySampler (slow-query hook); None = no-op
+        self.telemetry = None
         #: tenant name per dispatch, in dispatch order — the fairness
         #: tests assert round-robin interleaving on this
         self.dispatch_log: List[str] = []
         self._queues: Dict[str, Deque[tuple]] = {}
         self._space: Dict[str, asyncio.Event] = {}
-        self._latencies: List[float] = []
+        self._latencies = TimerState()
+        self._inflight_by_tenant: Dict[str, int] = {}
+        # metric names are interned per (family, tenant): building one
+        # f-string (and a Gauge handle) per query raises the allocation
+        # rate enough to drag GC pauses into the dispatch hot loop
+        self._metric_names: Dict[tuple, str] = {}
         self._runtime_ctx: Dict[str, tuple] = {}
         self._breakers: Dict[str, CircuitBreaker] = {}
         self._inflight: set = set()
@@ -335,6 +343,41 @@ class QueryEngine:
             self._breakers[digest] = breaker
         return breaker
 
+    def _metric_name(self, family: str, tenant: str) -> str:
+        key = (family, tenant)
+        name = self._metric_names.get(key)
+        if name is None:
+            name = self._metric_names[key] = f"{family}.{tenant}"
+        return name
+
+    def _tenant_inc(self, name: str, tenant: str) -> None:
+        key = (name, tenant)
+        metric = self._metric_names.get(key)
+        if metric is None:
+            metric = self._metric_names[key] = (
+                f"serve.tenant.{name}.{tenant}"
+            )
+        REGISTRY.inc(metric)
+
+    def _queue_depth_set(self, tenant: str, depth: int) -> None:
+        REGISTRY.set_gauge(
+            self._metric_name("serve.queue_depth", tenant), float(depth)
+        )
+
+    def _track_inflight(self, tenant: str, delta: int) -> None:
+        n = self._inflight_by_tenant.get(tenant, 0) + delta
+        self._inflight_by_tenant[tenant] = n
+        REGISTRY.set_gauge(
+            self._metric_name("serve.inflight", tenant), float(n)
+        )
+
+    def breaker_states(self) -> Dict[str, str]:
+        """Current per-model breaker states, keyed by short digest."""
+        return {
+            digest[:12]: breaker.state
+            for digest, breaker in sorted(self._breakers.items())
+        }
+
     def _deadline_error(self, q: Query, boundary: str) -> DeadlineExceededError:
         return DeadlineExceededError(
             f"deadline of {q.deadline_ms:g}ms expired at {boundary}",
@@ -352,6 +395,7 @@ class QueryEngine:
         """Submit one query; resolves with its :class:`Answer`."""
         if self.draining:
             self.stats.bump("rejected")
+            self._tenant_inc("rejected", q.tenant)
             raise AdmissionError(
                 "engine is draining; admission is closed",
                 stage="serve",
@@ -376,10 +420,12 @@ class QueryEngine:
             t0 + q.deadline_ms / 1000.0 if q.deadline_ms is not None else None
         )
         self.stats.bump("queries")
+        self._tenant_inc("queries", q.tenant)
         breaker = self._breaker(digest)
         if breaker is not None and not breaker.admit(t0):
             self.report.bump("breaker_rejected")
             self.stats.bump("failed")
+            self._tenant_inc("failed", q.tenant)
             raise CircuitOpenError(
                 f"model {digest[:12]} breaker is open; query shed",
                 stage="serve",
@@ -389,6 +435,7 @@ class QueryEngine:
         if len(dq) >= self.config.queue_depth:
             if self.config.admission == "reject":
                 self.stats.bump("rejected")
+                self._tenant_inc("rejected", q.tenant)
                 raise AdmissionError(
                     f"tenant {q.tenant!r} queue is full "
                     f"({self.config.queue_depth} queries)",
@@ -397,6 +444,7 @@ class QueryEngine:
                 )
             while len(dq) >= self.config.queue_depth:
                 self.stats.bump("backpressure_waits")
+                self._tenant_inc("waits", q.tenant)
                 event = self._space.setdefault(q.tenant, asyncio.Event())
                 event.clear()
                 if expiry is None:
@@ -411,11 +459,12 @@ class QueryEngine:
                         pass
                 self.report.bump("deadline_admission")
                 self.stats.bump("failed")
+                self._tenant_inc("failed", q.tenant)
                 raise self._deadline_error(q, "admission wait") from None
         loop = asyncio.get_running_loop()
         fut: asyncio.Future = loop.create_future()
         dq.append((q, fut, t0, expiry))
-        REGISTRY.gauge(f"serve.queue_depth.{q.tenant}").set(float(len(dq)))
+        self._queue_depth_set(q.tenant, len(dq))
         if self._wake is None:
             self._wake = asyncio.Event()
         self._wake.set()
@@ -428,56 +477,65 @@ class QueryEngine:
         while True:
             await self._wake.wait()
             self._wake.clear()
-            progress = True
-            while progress:
-                progress = False
-                # one query per tenant per cycle: round-robin fairness
-                for tenant in list(self._queues):
-                    dq = self._queues[tenant]
-                    if not dq:
-                        continue
-                    progress = True
-                    q, fut, t0, expiry = dq.popleft()
-                    REGISTRY.gauge(f"serve.queue_depth.{tenant}").set(
-                        float(len(dq))
-                    )
-                    event = self._space.get(tenant)
-                    if event is not None:
-                        event.set()
-                    self.dispatch_log.append(tenant)
-                    now = perf_counter()
-                    REGISTRY.observe("serve.queue_wait_s", now - t0)
-                    if expiry is not None and now >= expiry:
-                        # the query aged out in its tenant queue
-                        self.report.bump("deadline_dispatch")
-                        self.stats.bump("failed")
-                        if not fut.done():
-                            fut.set_exception(
-                                self._deadline_error(q, "dispatch")
-                            )
-                        continue
-                    breaker = self._breakers.get(q.model)
-                    if breaker is not None and not breaker.allow_dispatch(now):
-                        self.report.bump("breaker_rejected")
-                        self.stats.bump("failed")
-                        if not fut.done():
-                            fut.set_exception(
-                                CircuitOpenError(
-                                    f"model {q.model[:12]} breaker is open; "
-                                    f"query shed",
-                                    stage="serve",
-                                    task_key=f"serve:{tenant}",
+            # one span per wake-to-drain dispatch cycle: with --trace-out
+            # the serve loop's dispatch work shows up between the
+            # serve.flush spans instead of being invisible loop time
+            with span("serve.dispatch"):
+                progress = True
+                while progress:
+                    progress = False
+                    # one query per tenant per cycle: round-robin fairness
+                    for tenant in list(self._queues):
+                        dq = self._queues[tenant]
+                        if not dq:
+                            continue
+                        progress = True
+                        q, fut, t0, expiry = dq.popleft()
+                        self._queue_depth_set(tenant, len(dq))
+                        event = self._space.get(tenant)
+                        if event is not None:
+                            event.set()
+                        self.dispatch_log.append(tenant)
+                        now = perf_counter()
+                        REGISTRY.observe("serve.queue_wait_s", now - t0)
+                        if expiry is not None and now >= expiry:
+                            # the query aged out in its tenant queue
+                            self.report.bump("deadline_dispatch")
+                            self.stats.bump("failed")
+                            self._tenant_inc("failed", tenant)
+                            if not fut.done():
+                                fut.set_exception(
+                                    self._deadline_error(q, "dispatch")
                                 )
-                            )
-                        continue
-                    # no task per query: the batcher future's done
-                    # callback finishes the answer — one object on the
-                    # hot path instead of a scheduled coroutine
-                    bfut = self.batcher.enqueue((q.model, q.kind), q, expiry)
-                    self._inflight.add(bfut)
-                    bfut.add_done_callback(
-                        partial(self._finish_one, q, fut, t0)
-                    )
+                            continue
+                        breaker = self._breakers.get(q.model)
+                        if breaker is not None and not breaker.allow_dispatch(
+                            now
+                        ):
+                            self.report.bump("breaker_rejected")
+                            self.stats.bump("failed")
+                            self._tenant_inc("failed", tenant)
+                            if not fut.done():
+                                fut.set_exception(
+                                    CircuitOpenError(
+                                        f"model {q.model[:12]} breaker is "
+                                        f"open; query shed",
+                                        stage="serve",
+                                        task_key=f"serve:{tenant}",
+                                    )
+                                )
+                            continue
+                        # no task per query: the batcher future's done
+                        # callback finishes the answer — one object on the
+                        # hot path instead of a scheduled coroutine
+                        self._track_inflight(tenant, +1)
+                        bfut = self.batcher.enqueue(
+                            (q.model, q.kind), q, expiry
+                        )
+                        self._inflight.add(bfut)
+                        bfut.add_done_callback(
+                            partial(self._finish_one, q, fut, t0)
+                        )
 
     def _finish_one(
         self,
@@ -488,6 +546,7 @@ class QueryEngine:
     ) -> None:
         """Resolve one caller future from its finished batch slice."""
         self._inflight.discard(bfut)
+        self._track_inflight(q.tenant, -1)
         if bfut.cancelled():
             if not fut.done():
                 fut.cancel()
@@ -495,14 +554,18 @@ class QueryEngine:
         exc = bfut.exception()
         if exc is not None:
             self.stats.bump("failed")
+            self._tenant_inc("failed", q.tenant)
             if not fut.done():
                 fut.set_exception(exc)
             return
         payload = bfut.result()
         latency = perf_counter() - t0
-        self._latencies.append(latency)
+        self._latencies.observe(latency)
         REGISTRY.observe("serve.latency_s", latency)
         self.stats.bump("answered")
+        self._tenant_inc("answered", q.tenant)
+        if self.telemetry is not None:
+            self.telemetry.record_query(q, latency)
         answer = Answer(
             target=q.target,
             kind=q.kind,
@@ -690,13 +753,9 @@ class QueryEngine:
     # -- reporting ------------------------------------------------------
 
     def latency_summary(self) -> Dict[str, float]:
-        values = sorted(self._latencies)
-        return {
-            "count": len(values),
-            "p50_s": _quantile(values, 0.50),
-            "p95_s": _quantile(values, 0.95),
-            "max_s": values[-1] if values else 0.0,
-        }
+        summary = self._latencies.summary()
+        summary.pop("sum_s")
+        return summary
 
     def summary(self) -> dict:
         return {

@@ -284,6 +284,15 @@ class RegistryStats:
     def bump(self, name: str, n: int = 1) -> None:
         setattr(self, name, getattr(self, name) + n)
         REGISTRY.inc(f"serve.registry.{name}", n)
+        if name in ("mem_hits", "disk_hits", "misses"):
+            REGISTRY.gauge("serve.registry.hit_rate").set(self.hit_rate())
+
+    def hit_rate(self) -> float:
+        """Fraction of lookups served by either tier (mem or disk)."""
+        lookups = self.mem_hits + self.disk_hits + self.misses
+        if not lookups:
+            return 0.0
+        return (self.mem_hits + self.disk_hits) / lookups
 
     def to_dict(self) -> dict:
         return {
@@ -356,6 +365,9 @@ class ModelRegistry:
         while len(self._mem) > self.mem_entries:
             self._mem.popitem(last=False)
             self.stats.bump("evictions")
+        REGISTRY.gauge("serve.registry.mem_entries").set(
+            float(len(self._mem))
+        )
 
     # -- public API -----------------------------------------------------
 

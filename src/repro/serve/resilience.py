@@ -119,6 +119,11 @@ class ServeReport:
     def transition(self, model: str, state: str) -> None:
         tag = f"{model[:12]}:{state}"
         self.transitions.append(tag)
+        # live state gauge (closed=0 open=1 half_open=2): the telemetry
+        # sampler and Prometheus exposition read breaker health from it
+        REGISTRY.gauge(f"serve.breaker.{model[:12]}").set(
+            float(BREAKER_STATES.index(state))
+        )
         log.warning("breaker %s", tag)
 
     @property

@@ -51,6 +51,7 @@ def check_artifacts(
     manifest: Optional[_PathLike] = None,
     log: Optional[_PathLike] = None,
     degradation: Optional[_PathLike] = None,
+    telemetry: Optional[_PathLike] = None,
     min_stages: int = MIN_TRACE_STAGES,
 ) -> List[str]:
     """Validate whichever artifacts were given; return the problems."""
@@ -121,6 +122,51 @@ def check_artifacts(
                     "degradation: marked clean despite nonzero counters"
                 )
 
+    if telemetry is not None:
+        schema = _load_schema("telemetry")
+        try:
+            lines = Path(telemetry).read_text().splitlines()
+        except OSError as exc:
+            problems.append(f"telemetry: cannot load {telemetry}: {exc}")
+            lines = []
+        records = []
+        for i, line in enumerate(lines, start=1):
+            if not line.strip():
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError as exc:
+                # a torn final line is the live-writer contract, not
+                # corruption; anywhere else it is a problem
+                if i == len(lines):
+                    continue
+                problems.append(f"telemetry: line {i} is not JSON: {exc}")
+                continue
+            problems += [
+                f"telemetry: line {i}: {p}" for p in validate(record, schema)
+            ]
+            records.append((i, record))
+        if not records:
+            problems.append("telemetry: no complete records")
+        # cross-record consistency: seq strictly increases, time never
+        # runs backwards, and a final record can only close the file
+        prev_seq, prev_t = -1, -1.0
+        for i, record in records:
+            seq, t_s = record.get("seq", -1), record.get("t_s", 0.0)
+            if seq <= prev_seq:
+                problems.append(
+                    f"telemetry: line {i}: seq {seq} after {prev_seq}"
+                )
+            if t_s < prev_t:
+                problems.append(
+                    f"telemetry: line {i}: t_s {t_s} ran backwards"
+                )
+            if record.get("final") and (i, record) != records[-1]:
+                problems.append(
+                    f"telemetry: line {i}: final record is not last"
+                )
+            prev_seq, prev_t = seq, t_s
+
     if log is not None:
         schema = _load_schema("log")
         try:
@@ -152,12 +198,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="guard DegradationReport JSON (from --degradation-out)",
     )
     parser.add_argument(
+        "--telemetry", default=None,
+        help="serve flight-recorder JSONL (from --telemetry-out)",
+    )
+    parser.add_argument(
         "--min-stages", type=int, default=MIN_TRACE_STAGES,
         help="minimum distinct pipeline stages the trace must cover",
     )
     args = parser.parse_args(argv)
     if not any(
-        (args.trace, args.metrics, args.manifest, args.log, args.degradation)
+        (args.trace, args.metrics, args.manifest, args.log,
+         args.degradation, args.telemetry)
     ):
         parser.error("nothing to check: give at least one artifact path")
     problems = check_artifacts(
@@ -166,6 +217,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         manifest=args.manifest,
         log=args.log,
         degradation=args.degradation,
+        telemetry=args.telemetry,
         min_stages=args.min_stages,
     )
     for problem in problems:
@@ -173,7 +225,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     if not problems:
         checked = [
             name
-            for name in ("trace", "metrics", "manifest", "log", "degradation")
+            for name in ("trace", "metrics", "manifest", "log",
+                         "degradation", "telemetry")
             if getattr(args, name)
         ]
         print(f"check_obs_artifacts: OK ({', '.join(checked)})")

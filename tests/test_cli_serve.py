@@ -164,6 +164,86 @@ class TestServeSummaryOut:
         assert "--summary-out" in err and "Traceback" not in err
 
 
+class TestServeTelemetry:
+    def test_flight_recorder_books_close_exactly(self, tmp_path, capsys):
+        """The acceptance contract: interval-summed recorder counters
+        equal the serve summary's end-of-run tallies *exactly*."""
+        from repro.obs.telemetry import (
+            merged_hist, read_flight_records, sum_counters,
+        )
+        from tests.check_obs_artifacts import check_artifacts
+
+        flight = tmp_path / "flight.jsonl"
+        prom = tmp_path / "metrics.prom"
+        summary = tmp_path / "serve_summary.json"
+        manifest = tmp_path / "run_manifest.json"
+        rc, out, _ = _run(
+            capsys,
+            BASE
+            + [
+                "--registry", str(tmp_path / "reg"),
+                "--load-gen", "80",
+                "--load-targets", "32,64,128",
+                "--telemetry-out", str(flight),
+                "--prom-out", str(prom),
+                "--telemetry-interval", "25",
+                "--summary-out", str(summary),
+                "--manifest-out", str(manifest),
+            ],
+        )
+        assert rc == 0
+        records = read_flight_records(flight)
+        assert records and records[-1]["final"]
+        assert check_artifacts(telemetry=flight) == []
+        # exact telescoping against the summary document
+        totals = sum_counters(records)
+        eng = json.loads(summary.read_text())["engine"]
+        for field in ("queries", "answered", "failed", "rejected"):
+            assert totals.get(f"serve.{field}", 0) == eng[field], field
+        # every answered query's latency landed in exactly one interval
+        assert merged_hist(records, "serve.latency_s").count == (
+            eng["answered"]
+        )
+        # the Prometheus scrape file was left behind, parseable
+        text = prom.read_text()
+        assert "# TYPE repro_serve_queries_total counter" in text
+        assert "# TYPE repro_serve_latency_seconds histogram" in text
+        assert f"repro_serve_queries_total {eng['queries']}" in text
+        # both artifacts are digested into the manifest
+        outputs = json.loads(manifest.read_text())["outputs"]
+        assert "telemetry.jsonl" in outputs and "metrics.prom" in outputs
+
+    def test_unwritable_telemetry_out_exits_2(self, tmp_path, capsys):
+        blocker = tmp_path / "blocker"
+        blocker.write_text("file, not dir")
+        rc, _, err = _run(
+            capsys,
+            BASE
+            + [
+                "--registry", str(tmp_path / "reg"),
+                "--load-gen", "8",
+                "--telemetry-out", str(blocker / "flight.jsonl"),
+            ],
+        )
+        assert rc == 2
+        assert "--telemetry-out" in err and "Traceback" not in err
+
+    @pytest.mark.parametrize("interval", ["0", "-5"])
+    def test_non_positive_interval_exits_2(self, tmp_path, capsys, interval):
+        rc, _, err = _run(
+            capsys,
+            BASE
+            + [
+                "--registry", str(tmp_path / "reg"),
+                "--load-gen", "8",
+                "--telemetry-out", str(tmp_path / "flight.jsonl"),
+                "--telemetry-interval", interval,
+            ],
+        )
+        assert rc == 2
+        assert "--telemetry-interval" in err and "Traceback" not in err
+
+
 class TestServeDrain:
     def _spawn_serve(self, registry, *extra):
         env = dict(os.environ)

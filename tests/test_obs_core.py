@@ -180,6 +180,7 @@ class TestMetrics:
         assert timer["sum_s"] == pytest.approx(sum(range(1, 101)) / 1000.0)
         assert timer["p50_s"] == pytest.approx(0.0505)
         assert timer["p95_s"] == pytest.approx(0.09505)
+        assert timer["p99_s"] == pytest.approx(0.09901)
         assert timer["max_s"] == pytest.approx(0.1)
 
     def test_timer_context_manager(self):
@@ -201,7 +202,13 @@ class TestMetrics:
         other.merge(snapshot)
         assert other.counters["a"] == 5
         assert other.gauges["g"] == 1.0
-        assert other.timers["t"] == [0.5]
+        merged = other.timers["t"]
+        assert merged.reservoir == [0.5]
+        assert merged.hist.count == 1 and merged.hist.total == 0.5
+        # legacy raw-list snapshots (pre-histogram drains) still merge
+        other.merge({"timers": {"t": [0.25]}})
+        assert other.timers["t"].reservoir == [0.5, 0.25]
+        assert other.timers["t"].summary()["max_s"] == 0.5
 
     def test_export_file(self, tmp_path):
         reg = MetricsRegistry()
