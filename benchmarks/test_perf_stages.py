@@ -228,3 +228,78 @@ def test_collect_exact_vs_reuse():
         f"analytical sweep only {speedup:.1f}x faster than exact replay "
         f"(floor {MIN_SPEEDUP}x)"
     )
+
+
+# ----------------------------------------------------------------------
+# pipeline DAG: incremental recomputation vs cold full sweep
+
+
+#: content-addressed reuse must make the warm no-op run at least this
+#: much faster than the cold sweep; smoke mode only checks direction
+MIN_DAG_SPEEDUP = 2.0 if SMOKE else 5.0
+
+
+def test_dag_incremental_speedup(tmp_path):
+    """Cold full sweep vs warm no-op vs one-dirty-leaf re-run.
+
+    The tentpole's payoff, measured: a second ``dag run`` over an
+    unchanged spec revalidates 15 committed artifacts instead of
+    recomputing them, and dirtying one leaf (deleting the what-if
+    report) recomputes exactly that leaf.  Results land in
+    ``BENCH_pipeline.json`` under ``dag_incremental_speedup``.
+    """
+    from repro.exec.resilience import ResilienceConfig
+    from repro.pipeline.dag import SweepSpec, run_dag
+
+    spec = SweepSpec(
+        app="jacobi", train_counts=TRAIN, targets=(16, 32),
+        accesses_per_probe=2000, sample_accesses=20_000,
+        max_sample_accesses=200_000, code_version="bench",
+    )
+    root = tmp_path / "dagroot"
+    resilience = ResilienceConfig(
+        max_retries=0, backoff_base_s=0.001, backoff_max_s=0.01
+    )
+
+    t0 = time.perf_counter()
+    cold = run_dag(spec, root, resilience=resilience)
+    t_cold = time.perf_counter() - t0
+    assert cold.ok and cold.stats.executed == len(cold.statuses)
+
+    t0 = time.perf_counter()
+    warm = run_dag(spec, root, resilience=resilience)
+    t_warm = time.perf_counter() - t0
+    assert warm.stats.executed == 0
+    assert warm.digests == cold.digests
+
+    os.remove(cold.artifacts["report:whatif"])
+    t0 = time.perf_counter()
+    dirty = run_dag(spec, root, resilience=resilience)
+    t_dirty = time.perf_counter() - t0
+    assert dirty.stats.executed == 1
+    assert dirty.digests == cold.digests
+
+    warm_speedup = t_cold / t_warm
+    leaf_speedup = t_cold / t_dirty
+    merge_bench(
+        "BENCH_pipeline",
+        {
+            "dag_incremental_speedup": {
+                "smoke": SMOKE,
+                "nodes": len(cold.statuses),
+                "cold_s": round(t_cold, 3),
+                "warm_noop_s": round(t_warm, 4),
+                "one_dirty_leaf_s": round(t_dirty, 4),
+                "warm_speedup": round(warm_speedup, 1),
+                "one_dirty_leaf_speedup": round(leaf_speedup, 1),
+            }
+        },
+    )
+    assert warm_speedup >= MIN_DAG_SPEEDUP, (
+        f"warm no-op run only {warm_speedup:.1f}x faster than the cold "
+        f"sweep (floor {MIN_DAG_SPEEDUP}x)"
+    )
+    assert leaf_speedup >= MIN_DAG_SPEEDUP, (
+        f"one-dirty-leaf run only {leaf_speedup:.1f}x faster than the "
+        f"cold sweep (floor {MIN_DAG_SPEEDUP}x)"
+    )

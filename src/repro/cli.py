@@ -9,6 +9,8 @@ Exposes the pipeline's workflows for shell-driven use:
 ``predict``        trace + machine -> predicted runtime
 ``measure``        ground-truth runtime of an app on a machine
 ``table1``         the full Table I protocol for one app
+``dag run``        the full sweep as a crash-consistent incremental DAG
+``dag status``     what ``dag run`` would recompute right now, and why
 ``serve``          answer what-if queries from a fitted-model registry
 =================  ====================================================
 
@@ -22,6 +24,10 @@ Examples::
     python -m repro predict --app uh3d --ranks 8192 \
         --trace uh3d-8192.npz
     python -m repro table1 --app uh3d --train 1024,2048,4096 --target 8192
+    python -m repro dag run --app uh3d --train 1024,2048,4096 \
+        --targets 8192,16384 --dag-root ./dagroot
+    python -m repro dag status --app uh3d --train 1024,2048,4096 \
+        --targets 8192,16384 --dag-root ./dagroot --explain
     python -m repro serve --app uh3d --train 1024,2048,4096 \
         --load-gen 2000
     echo '{"id": 1, "target": 8192}' | \
@@ -73,12 +79,19 @@ from repro.obs import manifest as obs_manifest
 from repro.obs import trace as obs_trace
 from repro.obs.metrics import REGISTRY
 from repro.pipeline.collect import CollectionSettings, collect_signatures
+from repro.pipeline.dag import (
+    SweepSpec,
+    dag_status,
+    default_code_version,
+    run_dag,
+)
 from repro.pipeline.experiment import Table1Config, run_table1
 from repro.pipeline.journal import RunJournal, default_journal_path
 from repro.pipeline.predict import measure_runtime, predict_runtime
 from repro.pipeline.report import table1_report
 from repro.trace.tracefile import TraceFile
 from repro.util.errors import ReproError, UsageError
+from repro.util.tables import Table
 from repro.util.validation import ValidationError
 
 log = obs_log.get_logger("cli")
@@ -438,6 +451,7 @@ def _write_manifest(
     journal: Optional[RunJournal] = None,
     guard: Optional[DegradationReport] = None,
     serve=None,
+    dag=None,
     path: Optional[str] = None,
 ) -> None:
     """Write the run manifest when a path was requested (or defaulted)."""
@@ -462,6 +476,7 @@ def _write_manifest(
         tracer=obs_trace.current() if obs_trace.is_enabled() else None,
         profile_cache=profile_cache,
         serve=serve,
+        dag=dag,
     )
     obs_manifest.write_manifest(path, doc)
     log.info("wrote run manifest: %s", path)
@@ -739,6 +754,105 @@ def cmd_table1(args: argparse.Namespace) -> int:
         guard=result.degradation,
     )
     return 0
+
+
+def _dag_root(args: argparse.Namespace) -> Path:
+    root = (
+        args.dag_root
+        or os.environ.get("REPRO_DAG_ROOT")
+        or os.path.expanduser("~/.cache/repro/dag")
+    )
+    _check_writable("--dag-root", str(root), is_dir=True)
+    return Path(root)
+
+
+def _build_sweep_spec(args: argparse.Namespace) -> SweepSpec:
+    _resolve_app(args.app)
+    _check_machine(args.machine)
+    return SweepSpec(
+        app=args.app,
+        machine=args.machine,
+        train_counts=tuple(args.train),
+        targets=tuple(args.targets),
+        cache_engine=args.cache_engine,
+        forms="extended" if args.extended_forms else "paper",
+        code_version=args.code_version or default_code_version(),
+        table1=not args.no_table1,
+        rate_trust_factor=args.rate_trust_factor,
+        accesses_per_probe=args.accesses_per_probe,
+        sample_accesses=args.sample_accesses,
+        max_sample_accesses=args.max_sample_accesses,
+    )
+
+
+def cmd_dag_run(args: argparse.Namespace) -> int:
+    if args.fresh and args.resume:
+        raise UsageError("--fresh and --resume are mutually exclusive")
+    spec = _build_sweep_spec(args)
+    root = _dag_root(args)
+    report = RunReport()
+    result = run_dag(
+        spec,
+        root,
+        fresh=args.fresh,
+        workers=args.workers,
+        resilience=_build_resilience(args),
+        report=report,
+        lock_stale_s=args.lock_stale,
+        lock_poll_s=args.lock_poll,
+        lock_wait_s=args.lock_wait,
+    )
+    outputs = {}
+    rendered = ""
+    for node, artifact in (
+        ("report:table1", "table1.txt"),
+        ("report:whatif", "whatif.txt"),
+    ):
+        if result.statuses.get(node) in ("executed", "clean"):
+            text = result.artifact_json(node)["text"] + "\n"
+            rendered += text
+            outputs[artifact] = text.encode("utf-8")
+    print(rendered, end="")
+    log.info("dag [%s]: %s", root, result.stats)
+    _log_run_health(report, None)
+    for name, message in sorted(result.errors.items()):
+        log.error("dag node failed: %s: %s", name, message)
+    for name, status in sorted(result.statuses.items()):
+        if status == "poisoned":
+            log.warning("dag node poisoned (upstream failure): %s", name)
+    _write_manifest(
+        args,
+        command="dag-run",
+        outputs=outputs,
+        app=args.app,
+        machine=args.machine,
+        report=report,
+        dag=result.to_dict(),
+    )
+    return 0 if result.ok else 1
+
+
+def cmd_dag_status(args: argparse.Namespace) -> int:
+    spec = _build_sweep_spec(args)
+    root = _dag_root(args)
+    statuses = dag_status(spec, root)
+    if args.json:
+        print(json.dumps([s.to_dict() for s in statuses], indent=2))
+    else:
+        columns = ["Node", "Rule", "State"]
+        if args.explain:
+            columns.append("Reason")
+        table = Table(
+            columns=columns,
+            title=f"DAG status: {spec.app}@{spec.machine} [{root}]",
+        )
+        for s in statuses:
+            row = [s.name, s.rule, s.state]
+            if args.explain:
+                row.append(s.reason)
+            table.add_row(*row)
+        print(table.render())
+    return 0 if all(s.state == "clean" for s in statuses) else 1
 
 
 def _serve_feature_summary(answer, schema) -> dict:
@@ -1434,6 +1548,99 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_obs_flags(p)
     p.set_defaults(fn=cmd_table1)
+
+    p = sub.add_parser(
+        "dag",
+        help="crash-consistent incremental pipeline DAG",
+        description="The full sweep (collect, fit, extrapolate, "
+                    "convolve, predict, measure, report) as a "
+                    "content-addressed DAG: every node is keyed by a "
+                    "digest over its inputs, config, and code version; "
+                    "completions are journaled durably; re-running "
+                    "recomputes only dirty nodes, bit-identically.",
+    )
+    dag_sub = p.add_subparsers(dest="dag_command", required=True)
+
+    def _add_dag_spec_flags(dp: argparse.ArgumentParser) -> None:
+        dp.add_argument("--app", required=True,
+                        help="application name (see `repro list`)")
+        dp.add_argument("--machine", default="blue_waters_p1",
+                        help="machine name (see `repro list`)")
+        dp.add_argument("--train", required=True, type=_parse_counts,
+                        help="comma-separated training core counts")
+        dp.add_argument("--targets", required=True, type=_parse_counts,
+                        help="comma-separated target core counts")
+        dp.add_argument("--cache-engine", choices=ENGINE_NAMES,
+                        default="exact",
+                        help="hit-rate engine for collection (part of "
+                             "node identity)")
+        dp.add_argument("--extended-forms", action="store_true",
+                        help="include the paper's SVI extension forms")
+        dp.add_argument("--no-table1", action="store_true",
+                        help="skip the Table I validation arm (collected-"
+                             "trace prediction + ground truth at the "
+                             "first target)")
+        dp.add_argument("--rate-trust-factor", type=float, default=2.0,
+                        help="extrapolation rate clamp (default 2.0)")
+        dp.add_argument("--accesses-per-probe", type=int, default=100_000,
+                        help="machine-profile probe budget")
+        dp.add_argument("--sample-accesses", type=int, default=200_000,
+                        help="per-block sampled accesses per pass")
+        dp.add_argument("--max-sample-accesses", type=int,
+                        default=3_000_000,
+                        help="total sampled-access cap per trace")
+        dp.add_argument("--code-version", default=None, metavar="TOKEN",
+                        help="code-version token in node keys (default: "
+                             "current git SHA)")
+        dp.add_argument("--dag-root", default=None, metavar="DIR",
+                        help="artifact/state directory (default: "
+                             "$REPRO_DAG_ROOT or ~/.cache/repro/dag)")
+
+    dp = dag_sub.add_parser(
+        "run", help="execute the sweep DAG, recomputing only dirty nodes"
+    )
+    _add_dag_spec_flags(dp)
+    dp.add_argument("--fresh", action="store_true",
+                    help="ignore all prior node state and recompute "
+                         "everything (truncates the state store)")
+    dp.add_argument("--resume", action="store_true",
+                    help="reuse committed nodes from interrupted or "
+                         "previous runs (the default; spelled out for "
+                         "symmetry with the other commands)")
+    dp.add_argument("--workers", type=int, default=None, metavar="N",
+                    help="process-pool size for node fan-out "
+                         "(default: one per CPU; 0 = serial)")
+    dp.add_argument("--task-timeout", type=float, default=None,
+                    metavar="SECONDS",
+                    help="per-attempt wall-clock budget per node")
+    dp.add_argument("--max-retries", type=int, default=None, metavar="N",
+                    help="additional attempts per node after a crash, "
+                         "timeout, or transient error")
+    dp.add_argument("--lock-stale", type=float, default=30.0,
+                    metavar="SECONDS",
+                    help="node locks older than this are presumed "
+                         "abandoned and taken over (default 30)")
+    dp.add_argument("--lock-poll", type=float, default=0.05,
+                    metavar="SECONDS",
+                    help="poll interval while another process holds a "
+                         "node lock (default 0.05)")
+    dp.add_argument("--lock-wait", type=float, default=600.0,
+                    metavar="SECONDS",
+                    help="give up waiting for another process's node "
+                         "lock after this long (default 600)")
+    _add_obs_flags(dp)
+    dp.set_defaults(fn=cmd_dag_run)
+
+    dp = dag_sub.add_parser(
+        "status", help="show per-node dirtiness without running anything"
+    )
+    _add_dag_spec_flags(dp)
+    dp.add_argument("--explain", action="store_true",
+                    help="add the reason each node is clean or dirty")
+    dp.add_argument("--json", action="store_true",
+                    help="machine-readable status document on stdout")
+    _add_obs_flags(dp)
+    dp.set_defaults(fn=cmd_dag_status)
 
     p = sub.add_parser(
         "serve",

@@ -43,6 +43,21 @@ Fault kinds:
            model (``feature`` selects ``meta``/``matrix``/``template``;
            matched against the model digest, attempts counting stores)
            — the fault that exercises registry quarantine + refit
+``node-crash``  ``crash`` semantics scoped to pipeline-DAG node
+           execution (matched against the node task key
+           ``dag:<node-name>`` with the executor's attempt number) —
+           the fault that exercises exactly-once node execution under
+           worker death and retry
+``corrupt-node-artifact``  truncate a committed DAG node artifact right
+           before a later run re-validates it for reuse (matched
+           against ``dag:<node-name>``, attempts counting validations
+           of an existing artifact) — bit-rot between runs; the
+           verification quarantines it and recomputes the node
+``stale-lock``  plant an already-stale node lockfile right before the
+           DAG tries to acquire it (matched against ``dag:<node-name>``,
+           attempts counting acquisition tries) — the fault that
+           exercises stale-lock takeover between concurrent
+           ``repro dag run`` processes
 =========  ==========================================================
 """
 
@@ -73,6 +88,9 @@ KINDS = (
     "slow-predict",
     "predict-raise",
     "corrupt-model-entry",
+    "node-crash",
+    "corrupt-node-artifact",
+    "stale-lock",
 )
 
 #: exit status used by injected worker crashes (recognizable in logs)
@@ -183,6 +201,12 @@ _SERVE_COUNTS: Dict[str, int] = defaultdict(int)
 #: per-digest count of registry model stores (corrupt-model-entry)
 _MODEL_STORE_COUNTS: Dict[str, int] = defaultdict(int)
 
+#: per-key count of DAG artifact commits (corrupt-node-artifact)
+_DAG_STORE_COUNTS: Dict[str, int] = defaultdict(int)
+
+#: per-key count of DAG lock acquisition tries (stale-lock)
+_DAG_LOCK_COUNTS: Dict[str, int] = defaultdict(int)
+
 
 @lru_cache(maxsize=8)
 def _parse_env_plan(value: str) -> FaultPlan:
@@ -200,6 +224,8 @@ def install_plan(plan: Optional[FaultPlan]) -> Optional[FaultPlan]:
     _STORE_COUNTS.clear()
     _SERVE_COUNTS.clear()
     _MODEL_STORE_COUNTS.clear()
+    _DAG_STORE_COUNTS.clear()
+    _DAG_LOCK_COUNTS.clear()
     return previous
 
 
@@ -233,7 +259,13 @@ def apply_fault(key: str, attempt: int = 1) -> None:
     plan = active_plan()
     if plan is None:
         return
-    spec = plan.spec_for(key, attempt, kinds=("raise", "hang", "crash"))
+    # node-crash is crash scoped to DAG node keys (``dag:<name>``): the
+    # executor passes true attempt numbers here, so "crash the first
+    # execution, succeed on retry" stays expressible across pool
+    # rebuilds without cross-process counters
+    spec = plan.spec_for(
+        key, attempt, kinds=("raise", "hang", "crash", "node-crash")
+    )
     if spec is None:
         return
     if spec.kind == "raise":
@@ -241,8 +273,9 @@ def apply_fault(key: str, attempt: int = 1) -> None:
     if spec.kind == "hang":
         time.sleep(spec.seconds)
         return
-    # crash: kill the worker process outright so the parent sees a
-    # BrokenProcessPool; serially, raise instead of killing the caller
+    # crash / node-crash: kill the worker process outright so the parent
+    # sees a BrokenProcessPool; serially, raise instead of killing the
+    # caller
     if in_worker():
         os._exit(CRASH_EXIT_CODE)
     raise TaskCrashError(
@@ -313,6 +346,41 @@ def apply_serve_fault(key: str) -> Optional[FaultSpec]:
         time.sleep(spec.seconds)
         return spec
     raise ServeError(spec.message, stage="serve", task_key=key, attempts=attempt)
+
+
+def check_dag_corrupt(key: str) -> Optional[FaultSpec]:
+    """Corruption spec for the n-th reuse validation of DAG node ``key``.
+
+    Consumed by the DAG run engine right before it re-validates an
+    *existing* artifact for reuse: the committed file is truncated in
+    place, so the validation sees a digest mismatch, quarantines the
+    file, and recomputes the node — bit-rot between runs, the sigcache
+    corruption discipline at DAG-node granularity.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    _DAG_STORE_COUNTS[key] += 1
+    return plan.spec_for(
+        key, _DAG_STORE_COUNTS[key], kinds=("corrupt-node-artifact",)
+    )
+
+
+def check_stale_lock(key: str) -> Optional[FaultSpec]:
+    """Stale-lock spec for the n-th lock acquisition of DAG node ``key``.
+
+    Consumed by the DAG lock path right before ``O_CREAT|O_EXCL``: when
+    planned, the runner plants a lockfile whose mtime is already past
+    the staleness horizon, forcing the takeover path that a crashed
+    concurrent ``repro dag run`` would otherwise leave behind.
+    """
+    plan = active_plan()
+    if plan is None:
+        return None
+    _DAG_LOCK_COUNTS[key] += 1
+    return plan.spec_for(
+        key, _DAG_LOCK_COUNTS[key], kinds=("stale-lock",)
+    )
 
 
 def check_model_corrupt(digest: str) -> Optional[FaultSpec]:

@@ -17,7 +17,6 @@ reproducibility contract the manifest exists to check.
 from __future__ import annotations
 
 import hashlib
-import json
 import platform
 import subprocess
 import sys
@@ -26,6 +25,7 @@ import zipfile
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.util.atomic import atomic_write_json
 from repro.util.rng import DEFAULT_ROOT_SEED
 
 SCHEMA_VERSION = 1
@@ -93,6 +93,7 @@ def build_manifest(
     tracer=None,
     profile_cache=None,
     serve=None,
+    dag=None,
     extra: Optional[dict] = None,
 ) -> dict:
     """Assemble the manifest document for one run.
@@ -110,7 +111,9 @@ def build_manifest(
     :class:`~repro.serve.resilience.ServeReport` (or its dict view):
     the per-run fault tallies land under ``"serve"`` so the manifest,
     the metrics registry, and ``serve_summary.json`` can be held to the
-    same numbers.
+    same numbers.  ``dag`` accepts the pipeline-DAG run view
+    (:class:`~repro.pipeline.dag.DagRunResult`, its stats, or a plain
+    dict): node statuses and the ``dag.*`` tallies land under ``"dag"``.
     """
     doc: dict = {
         "schema_version": SCHEMA_VERSION,
@@ -149,17 +152,17 @@ def build_manifest(
         doc["stage_durations"] = tracer.stage_durations()
     if serve is not None:
         doc["serve"] = serve.to_dict() if hasattr(serve, "to_dict") else serve
+    if dag is not None:
+        doc["dag"] = dag.to_dict() if hasattr(dag, "to_dict") else dag
     if extra:
         doc.update(extra)
     return doc
 
 
 def write_manifest(path: Union[str, Path], manifest: dict) -> Path:
-    path = Path(path)
-    if path.parent != Path(""):
-        path.parent.mkdir(parents=True, exist_ok=True)
-    path.write_text(json.dumps(manifest, indent=2, sort_keys=True) + "\n")
-    return path
+    # atomic: a crash mid-write must never leave a torn manifest next
+    # to intact artifacts (the manifest is the reproducibility record)
+    return atomic_write_json(path, manifest)
 
 
 def output_digests(manifest: dict) -> Dict[str, str]:

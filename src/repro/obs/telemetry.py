@@ -607,11 +607,8 @@ def render_prometheus(registry: Any = None) -> str:
 
 def write_prometheus(path: Union[str, Path], registry: Any = None) -> str:
     """Atomically replace ``path`` with the current exposition text."""
-    path = Path(path)
-    if path.parent != Path(""):
-        path.parent.mkdir(parents=True, exist_ok=True)
+    from repro.util.atomic import atomic_write_text
+
     text = render_prometheus(registry)
-    tmp = path.with_name(path.name + ".tmp")
-    tmp.write_text(text, encoding="utf-8")
-    os.replace(tmp, path)
+    atomic_write_text(path, text)
     return text

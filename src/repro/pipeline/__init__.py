@@ -14,12 +14,26 @@ Wires the substrates together into the paper's workflows:
 - :mod:`repro.pipeline.report` — table rendering of experiment results.
 - :mod:`repro.pipeline.journal` — checkpoint journal making multi-unit
   runs resumable after an interruption (``--resume``).
+- :mod:`repro.pipeline.dag` — the workflows above as a crash-consistent
+  content-addressed DAG with incremental recomputation (``repro dag``).
 """
 
 from repro.pipeline.collect import (
     CollectionSettings,
     collect_signature,
     collect_signatures,
+)
+from repro.pipeline.dag import (
+    Dag,
+    DagRunResult,
+    DagStats,
+    Node,
+    NodeStatus,
+    SweepSpec,
+    build_dag,
+    dag_status,
+    node_key,
+    run_dag,
 )
 from repro.pipeline.journal import RunJournal, make_journal, unit_key
 from repro.pipeline.predict import (
@@ -40,6 +54,16 @@ from repro.pipeline.experiment import (
 from repro.pipeline.report import table1_report
 
 __all__ = [
+    "Dag",
+    "DagRunResult",
+    "DagStats",
+    "Node",
+    "NodeStatus",
+    "SweepSpec",
+    "build_dag",
+    "dag_status",
+    "node_key",
+    "run_dag",
     "CollectionSettings",
     "collect_signature",
     "collect_signatures",

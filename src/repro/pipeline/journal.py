@@ -43,8 +43,9 @@ class JournalStats:
 
     resumed: int = 0  #: units skipped because a previous run completed them
     marked: int = 0  #: units newly committed by this run
+    amended: int = 0  #: units re-committed with replacement metadata
 
-    COUNTER_FIELDS = ("resumed", "marked")
+    COUNTER_FIELDS = ("resumed", "marked", "amended")
 
     def bump(self, name: str, n: int = 1) -> None:
         setattr(self, name, getattr(self, name) + n)
@@ -54,7 +55,10 @@ class JournalStats:
         return {name: getattr(self, name) for name in self.COUNTER_FIELDS}
 
     def __str__(self) -> str:
-        return f"resumed={self.resumed} marked={self.marked}"
+        return (
+            f"resumed={self.resumed} marked={self.marked} "
+            f"amended={self.amended}"
+        )
 
 
 class RunJournal:
@@ -70,6 +74,7 @@ class RunJournal:
         self.resume = resume
         self.stats = JournalStats()
         self._done = set()
+        self._meta: dict = {}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         if resume and self.path.exists():
             self._load()
@@ -83,11 +88,27 @@ class RunJournal:
                     continue
                 try:
                     entry = json.loads(line)
-                    self._done.add(entry["unit"])
+                    unit = entry["unit"]
                 except (ValueError, KeyError, TypeError):
                     # torn tail line from a killed writer: the unit was
                     # not committed, so it is simply redone
                     continue
+                self._done.add(unit)
+                # latest record wins: an :meth:`amend` written after the
+                # original mark replaces its metadata on reload
+                self._meta[unit] = entry.get("meta")
+
+    def refresh(self) -> None:
+        """Re-read the file, folding in records other processes appended.
+
+        The cross-process primitive behind shared DAG state stores: two
+        ``repro dag run`` processes append to the same journal (O_APPEND
+        writes of whole lines), and a reader refreshes to observe the
+        other writer's committed units.  Torn tails are skipped exactly
+        as on load.
+        """
+        if self.path.exists():
+            self._load()
 
     # ------------------------------------------------------------------
 
@@ -106,10 +127,15 @@ class RunJournal:
             return True
         return False
 
-    def mark(self, unit: str, **meta) -> None:
-        """Commit ``unit`` as complete (durably: flush + fsync)."""
-        if unit in self._done:
-            return
+    def meta(self, unit: str) -> Optional[dict]:
+        """The latest metadata committed with ``unit`` (None when bare)."""
+        return self._meta.get(unit)
+
+    def metas(self) -> dict:
+        """Snapshot of every unit's latest metadata (unit -> meta|None)."""
+        return dict(self._meta)
+
+    def _append(self, unit: str, meta: dict) -> None:
         entry = {"unit": unit}
         if meta:
             entry["meta"] = meta
@@ -117,8 +143,27 @@ class RunJournal:
         self._fh.flush()
         os.fsync(self._fh.fileno())
         self._done.add(unit)
+        self._meta[unit] = meta or None
+
+    def mark(self, unit: str, **meta) -> None:
+        """Commit ``unit`` as complete (durably: flush + fsync)."""
+        if unit in self._done:
+            return
+        self._append(unit, meta)
         self.stats.bump("marked")
         log.debug("journaled: %s", unit)
+
+    def amend(self, unit: str, **meta) -> None:
+        """Commit ``unit`` with *replacement* metadata, even if done.
+
+        Appends a fresh record (the store stays append-only; recovery
+        takes the latest record per unit), so a unit's state can change
+        over a run's lifetime — the DAG uses this for ``failed`` →
+        ``done`` transitions when a retry or re-run succeeds.
+        """
+        self._append(unit, meta)
+        self.stats.bump("amended")
+        log.debug("journal amended: %s", unit)
 
     def mark_many(self, units: Iterable[str]) -> None:
         for unit in units:

@@ -69,6 +69,7 @@ from repro.obs.metrics import REGISTRY
 from repro.obs.trace import span
 from repro.trace.features import FeatureSchema
 from repro.trace.tracefile import TraceFile
+from repro.util.atomic import atomic_dir
 from repro.util.errors import ServeError
 
 SCHEMA_VERSION = 1
@@ -643,13 +644,10 @@ class ModelRegistry:
 
     def _store_dir(self, model: FittedModel, model_dir: Path) -> None:
         batch = model.report.batch
-        tmp = model_dir.with_name(
-            f"{model_dir.name}.tmp-{os.getpid()}"
-        )
-        if tmp.exists():
-            shutil.rmtree(tmp)
-        tmp.mkdir(parents=True)
-        try:
+        # the shared tmp-sibling + os.replace commit discipline; a
+        # concurrent writer winning the race discards our tmp tree
+        # (same digest = same content)
+        with atomic_dir(model_dir) as tmp:
             for stem, attr in _ARRAY_FIELDS:
                 np.save(tmp / f"{stem}.npy", getattr(batch, attr))
             for f, params in enumerate(batch.params):
@@ -675,15 +673,6 @@ class ModelRegistry:
                 json.dumps(meta, indent=2, sort_keys=True) + "\n"
             )
             (tmp / ATIME_FILE).write_text(f"{time.time():.6f}\n")
-            model_dir.parent.mkdir(parents=True, exist_ok=True)
-            if model_dir.exists():
-                # concurrent writer won the race; same digest = same content
-                shutil.rmtree(tmp)
-            else:
-                os.replace(tmp, model_dir)
-        finally:
-            if tmp.exists():
-                shutil.rmtree(tmp, ignore_errors=True)
 
     def _load_dir(self, model_dir: Path) -> FittedModel:
         try:

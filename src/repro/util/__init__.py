@@ -5,9 +5,17 @@ so that experiments are reproducible bit-for-bit.  The remaining modules
 are small leaf helpers used across the package.
 """
 
+from repro.util.atomic import (
+    atomic_dir,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
 from repro.util.errors import (
     CacheCorruptionError,
     CollectionError,
+    DagError,
     FitError,
     PredictionError,
     ReproError,
@@ -34,8 +42,14 @@ from repro.util.validation import (
 from repro.util.tables import Table, format_table
 
 __all__ = [
+    "atomic_dir",
+    "atomic_write_bytes",
+    "atomic_write_json",
+    "atomic_write_text",
+    "atomic_writer",
     "CacheCorruptionError",
     "CollectionError",
+    "DagError",
     "FitError",
     "PredictionError",
     "ReproError",

@@ -91,6 +91,18 @@ class UsageError(ReproError):
     """Invalid CLI input; the CLI exits 2 with the message, no traceback."""
 
 
+class DagError(ReproError):
+    """A pipeline-DAG run could not complete.
+
+    Raised for structural problems (a spec whose graph cannot be built,
+    an unreadable state store) and as the terminal summary when node
+    failures poisoned part of the graph.  Per-node failures themselves
+    are *isolated*, not raised: a failing node is recorded in the state
+    store, its downstream cone is marked poisoned, and every other
+    branch keeps executing.
+    """
+
+
 class ServeError(ReproError):
     """The query engine could not answer (unknown model, engine down)."""
 

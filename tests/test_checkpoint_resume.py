@@ -90,6 +90,68 @@ class TestRunJournal:
             assert not journal.done("u2")  # never committed -> redone
             journal.mark("u2")  # and the journal keeps working
 
+    def test_torn_tail_recovery_at_every_byte_offset(self, tmp_path):
+        """Property: truncate the journal at *every* byte offset inside
+        the final record.  Recovery must never lose a committed unit and
+        never trust the torn one — the crash model behind the DAG state
+        store ("readable after a kill at any instant")."""
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.mark("u1", n_ranks=4)
+            journal.mark("u2", n_ranks=8)
+            journal.mark("u3", n_ranks=16, note="final record")
+        data = path.read_bytes()
+        prefix = data[: data.rindex(b'{"meta"')]  # bytes before record 3
+        for cut in range(len(prefix), len(data) + 1):
+            path.write_bytes(data[:cut])
+            # a tail is committed only when its JSON made it out whole
+            # (the final newline is decoration, not part of the record)
+            try:
+                committed = json.loads(data[len(prefix):cut])["unit"] == "u3"
+            except ValueError:
+                committed = False
+            with RunJournal(path, resume=True) as journal:
+                # committed units always survive, with their metadata
+                assert journal.done("u1") and journal.done("u2")
+                assert journal.meta("u1") == {"n_ranks": 4}
+                assert journal.meta("u2") == {"n_ranks": 8}
+                # the torn record is trusted only when byte-complete,
+                # and then only with its full metadata
+                assert journal.done("u3") == committed
+                if committed:
+                    assert journal.meta("u3") == {
+                        "n_ranks": 16, "note": "final record"
+                    }
+                # and the journal keeps accepting appends afterwards
+                journal.mark("u4")
+                assert journal.done("u4")
+        # sanity on the property itself: both verdicts were exercised
+        assert len(prefix) < len(data) - 1
+
+    def test_amend_last_record_wins(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as journal:
+            journal.amend("n1", status="failed", error="boom")
+            assert journal.meta("n1") == {"status": "failed", "error": "boom"}
+            journal.amend("n1", status="done", sha256="abc")
+            assert journal.stats.amended == 2
+        # append-only on disk: both records present, latest wins on load
+        assert len(path.read_text().splitlines()) == 2
+        with RunJournal(path, resume=True) as journal:
+            assert journal.meta("n1") == {"status": "done", "sha256": "abc"}
+            assert journal.metas() == {"n1": {"status": "done", "sha256": "abc"}}
+
+    def test_refresh_folds_in_other_writers(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        with RunJournal(path) as mine:
+            mine.mark("u1")
+            with RunJournal(path, resume=True) as other:
+                other.mark("u2", via="other")
+            assert not mine.done("u2")
+            mine.refresh()
+            assert mine.done("u2")
+            assert mine.meta("u2") == {"via": "other"}
+
     def test_remark_is_idempotent(self, tmp_path):
         path = tmp_path / "run.jsonl"
         with RunJournal(path) as journal:

@@ -168,7 +168,7 @@ class TestMetricsMirroring:
             assert journal.skip("unit:a")
             journal.mark("unit:c")
             doc = journal.stats.to_dict()
-        assert doc == {"resumed": 1, "marked": 1}
+        assert doc == {"resumed": 1, "marked": 1, "amended": 0}
         assert REGISTRY.counters["journal.marked"] == 3
         assert REGISTRY.counters["journal.resumed"] == 1
 

@@ -1,0 +1,126 @@
+"""Unit tests: the shared atomic-commit helpers (``repro.util.atomic``).
+
+The contract every consumer (manifests, registry, DAG artifacts) leans
+on: a destination file either holds the old bytes or the new bytes,
+never a torn mix; a failed write changes nothing; temporaries never
+survive; and the tmp naming preserves the real filename's suffix so
+suffix-sniffing writers (``np.savez``) commit where they are told.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import numpy as np
+import pytest
+
+from repro.util.atomic import (
+    _tmp_name,
+    atomic_dir,
+    atomic_write_bytes,
+    atomic_write_json,
+    atomic_write_text,
+    atomic_writer,
+)
+
+
+class TestAtomicWriter:
+    def test_commit_replaces_destination(self, tmp_path):
+        dest = tmp_path / "out.txt"
+        dest.write_text("old")
+        with atomic_writer(dest) as tmp:
+            tmp.write_text("new")
+        assert dest.read_text() == "new"
+
+    def test_exception_leaves_destination_untouched(self, tmp_path):
+        dest = tmp_path / "out.txt"
+        dest.write_text("old")
+        with pytest.raises(RuntimeError):
+            with atomic_writer(dest) as tmp:
+                tmp.write_text("half-written")
+                raise RuntimeError("writer died")
+        assert dest.read_text() == "old"
+
+    def test_no_temporaries_survive(self, tmp_path):
+        dest = tmp_path / "out.txt"
+        with atomic_writer(dest) as tmp:
+            tmp.write_text("x")
+        with pytest.raises(ValueError):
+            with atomic_writer(dest) as tmp:
+                tmp.write_text("y")
+                raise ValueError
+        leftovers = [p for p in tmp_path.iterdir() if p.name != "out.txt"]
+        assert leftovers == []
+
+    def test_creates_missing_parent_dirs(self, tmp_path):
+        dest = tmp_path / "a" / "b" / "out.txt"
+        with atomic_writer(dest) as tmp:
+            tmp.write_text("deep")
+        assert dest.read_text() == "deep"
+
+    def test_tmp_name_is_sibling_pid_unique_and_suffix_preserving(
+        self, tmp_path
+    ):
+        dest = tmp_path / "trace.npz"
+        tmp = _tmp_name(dest)
+        assert tmp.parent == dest.parent  # same-fs os.replace
+        assert str(os.getpid()) in tmp.name  # no cross-process clobber
+        assert tmp.name.endswith(dest.name)  # suffix sniffing stays put
+
+    def test_npz_writer_commits_at_destination(self, tmp_path):
+        # np.savez appends ".npz" to any path lacking it; the suffix-
+        # preserving tmp naming means the commit still lands on dest
+        dest = tmp_path / "arrays.npz"
+        with atomic_writer(dest) as tmp:
+            np.savez_compressed(tmp, a=np.arange(4))
+        with np.load(dest) as data:
+            np.testing.assert_array_equal(data["a"], np.arange(4))
+        assert [p.name for p in tmp_path.iterdir()] == ["arrays.npz"]
+
+
+class TestAtomicWriteHelpers:
+    def test_write_bytes(self, tmp_path):
+        dest = atomic_write_bytes(tmp_path / "b.bin", b"\x00\x01")
+        assert dest.read_bytes() == b"\x00\x01"
+
+    def test_write_text(self, tmp_path):
+        dest = atomic_write_text(tmp_path / "t.txt", "hello\n")
+        assert dest.read_text() == "hello\n"
+
+    def test_write_json_is_byte_stable(self, tmp_path):
+        # same doc -> identical bytes (the digest-stability contract)
+        doc = {"b": 2, "a": [1, {"z": None}]}
+        p1 = atomic_write_json(tmp_path / "one.json", doc)
+        p2 = atomic_write_json(tmp_path / "two.json", dict(reversed(doc.items())))
+        assert p1.read_bytes() == p2.read_bytes()
+        assert json.loads(p1.read_text()) == doc
+        assert p1.read_text().endswith("\n")
+
+
+class TestAtomicDir:
+    def test_commit_renames_tree_into_place(self, tmp_path):
+        dest = tmp_path / "entry"
+        with atomic_dir(dest) as tmp:
+            (tmp / "part.txt").write_text("data")
+        assert (dest / "part.txt").read_text() == "data"
+
+    def test_exception_discards_tmp_tree(self, tmp_path):
+        dest = tmp_path / "entry"
+        with pytest.raises(RuntimeError):
+            with atomic_dir(dest) as tmp:
+                (tmp / "part.txt").write_text("data")
+                raise RuntimeError
+        assert not dest.exists()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_concurrent_winner_keeps_its_tree(self, tmp_path):
+        # destination appearing mid-build means a concurrent writer won;
+        # under content addressing the loser's tree is discarded free
+        dest = tmp_path / "entry"
+        with atomic_dir(dest) as tmp:
+            (tmp / "part.txt").write_text("loser")
+            dest.mkdir()
+            (dest / "part.txt").write_text("winner")
+        assert (dest / "part.txt").read_text() == "winner"
+        assert [p.name for p in tmp_path.iterdir()] == ["entry"]
